@@ -1,0 +1,79 @@
+"""Ablation: the paper's √2-approximation chain selection vs. alternatives.
+
+DESIGN.md §5 calls out the chain-selection design choice: the paper's scheme
+uses ℓ ≈ √(2n) chains per user against a √n lower bound (§4.2, §9).  This
+bench quantifies what the alternatives cost:
+
+* **everyone-on-chain-1** — trivially satisfies the intersection property but
+  concentrates the entire load on one chain (no horizontal scaling at all);
+* **paper scheme** — ℓ ≈ √(2n), load spread evenly across chains;
+* **ideal √n** — the lower bound the paper says a better construction might
+  approach, worth up to √2× speed-up.
+"""
+
+import hashlib
+import math
+
+from repro.analysis import render_table
+from repro.client import chain_selection as cs
+from repro.simulation.latency import xrd_latency
+
+from benchmarks.conftest import save_result
+
+NUM_CHAINS = 100
+NUM_USERS = 5000
+
+
+def _synthetic_keys(count):
+    return [hashlib.sha256(b"ablation-user-%d" % index).digest() for index in range(count)]
+
+
+def _per_chain_load_paper(keys):
+    load = [0] * NUM_CHAINS
+    for key in keys:
+        for chain in cs.chains_for_user(key, NUM_CHAINS):
+            load[chain] += 1
+    return load
+
+
+def test_ablation_chain_selection_load(benchmark):
+    keys = _synthetic_keys(NUM_USERS)
+    load = benchmark(_per_chain_load_paper, keys)
+    ell = cs.ell_for_chains(NUM_CHAINS)
+    expected = NUM_USERS * ell / NUM_CHAINS
+
+    trivial_max_load = NUM_USERS  # everyone sends to chain 1
+    ideal_per_user = math.isqrt(NUM_CHAINS)
+    ideal_load = NUM_USERS * ideal_per_user / NUM_CHAINS
+
+    rows = [
+        ["everyone-on-chain-1", 1, trivial_max_load],
+        ["paper (sqrt(2n))", ell, max(load)],
+        ["ideal lower bound (sqrt(n))", ideal_per_user, round(ideal_load)],
+    ]
+    save_result(
+        "ablation_chain_selection",
+        "Chain-selection ablation (100 chains, 5000 users)\n"
+        + render_table(["scheme", "messages per user", "max chain load"], rows),
+    )
+    # The paper's scheme keeps the maximum chain load within ~2x of the mean
+    # (the factor-2 slack comes from wrapping the ℓ(ℓ+1)/2 logical chains onto
+    # n physical chains)...
+    assert max(load) < 2 * expected
+    # ...and well below the trivial scheme's single hot chain, even though the
+    # paper scheme sends ℓ times more messages in total.
+    assert max(load) * 2.5 < trivial_max_load
+    # The ideal scheme would save at most the sqrt(2) factor in user cost.
+    assert ell <= math.ceil(math.sqrt(2) * ideal_per_user) + 1
+
+
+def test_ablation_ell_effect_on_latency(benchmark):
+    """End-to-end effect of ℓ: the √2-approximation costs ≤ √2 over the ideal."""
+
+    def run():
+        paper = xrd_latency(2_000_000, NUM_CHAINS)
+        # An idealised scheme with ℓ = √n would reduce per-chain load by √2.
+        return paper, paper / math.sqrt(2)
+
+    paper_latency, ideal_latency = benchmark(run)
+    assert paper_latency / ideal_latency < 1.5

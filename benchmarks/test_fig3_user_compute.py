@@ -1,0 +1,29 @@
+"""Figure 3: per-user single-core computation per round vs. number of servers.
+
+Paper reference: XRD client computation stays below ~0.5 s up to 2000 servers
+(and parallelises across cores); Pung/XPIR client costs are flat in the number
+of servers but grow with the user count; Stadium and Atom are negligible.
+"""
+
+from repro.analysis import figures, render_figure
+
+from benchmarks.conftest import save_result
+
+
+def test_fig3_user_compute(benchmark):
+    figure = benchmark(figures.figure3)
+    save_result("fig3_user_compute", render_figure(figure))
+    xrd = figure["series"]["XRD"]
+    stadium = figure["series"]["Stadium"]
+    atom = figure["series"]["Atom"]
+    pung_1m = figure["series"]["Pung (XPIR; 1M users)"]
+    pung_4m = figure["series"]["Pung (XPIR; 4M users)"]
+    # XRD grows as sqrt(N) but stays under ~0.5 s at 2000 servers.
+    assert xrd == sorted(xrd)
+    assert xrd[-1] < 0.6
+    # Pung does not depend on N; more users means more client work.
+    assert pung_1m[0] == pung_1m[-1]
+    assert pung_4m[0] > pung_1m[0]
+    # Stadium and Atom are cheap and flat.
+    assert max(stadium) < 0.01
+    assert max(atom) < 0.05

@@ -1,0 +1,51 @@
+"""Figure 4: end-to-end latency vs. number of users with 100 servers.
+
+Paper reference points (100 servers, f = 0.2): XRD 128 s @ 1M, 251 s @ 2M,
+508 s @ 4M, 1009 s @ 8M; Atom ≈ 12× slower than XRD; Pung 2.1× / 3.7× / 7.1×
+slower at 1M / 2M / 4M; Stadium ≈ 2× faster.
+"""
+
+import pytest
+
+from repro.analysis import figures, render_figure
+
+from benchmarks.conftest import save_result
+
+
+def test_fig4_latency_vs_users(benchmark):
+    figure = benchmark(figures.figure4)
+    save_result("fig4_latency_vs_users", render_figure(figure))
+    users = figure["x"]
+    xrd = dict(zip(users, figure["series"]["XRD"]))
+    atom = dict(zip(users, figure["series"]["Atom"]))
+    pung = dict(zip(users, figure["series"]["Pung"]))
+    stadium = dict(zip(users, figure["series"]["Stadium"]))
+
+    # Absolute anchors within 10%.
+    assert xrd[1_000_000] == pytest.approx(128, rel=0.10)
+    assert xrd[2_000_000] == pytest.approx(251, rel=0.10)
+    assert xrd[4_000_000] == pytest.approx(508, rel=0.10)
+    assert xrd[8_000_000] == pytest.approx(1009, rel=0.10)
+
+    # Relative claims from the abstract / §8.2.
+    assert atom[1_000_000] / xrd[1_000_000] == pytest.approx(12, rel=0.15)
+    assert pung[2_000_000] / xrd[2_000_000] == pytest.approx(3.7, rel=0.15)
+    assert pung[4_000_000] / xrd[4_000_000] == pytest.approx(7.1, rel=0.25)
+    assert xrd[1_000_000] / stadium[1_000_000] == pytest.approx(2.0, rel=0.25)
+
+    # The gap to Pung grows with users; XRD grows linearly.
+    assert pung[8_000_000] / xrd[8_000_000] > pung[1_000_000] / xrd[1_000_000]
+
+
+def test_headline_comparison(benchmark):
+    headline = benchmark(figures.headline_comparison)
+    lines = [
+        headline["title"],
+        f"  XRD:     {headline['xrd_latency']:8.1f} s (paper: 251 s)",
+        f"  Atom:    {headline['atom_latency']:8.1f} s ({headline['atom_speedup']:.1f}x XRD; paper: 12x)",
+        f"  Pung:    {headline['pung_latency']:8.1f} s ({headline['pung_speedup']:.1f}x XRD; paper: 3.7x)",
+        f"  Stadium: {headline['stadium_latency']:8.1f} s (XRD is {headline['stadium_slowdown']:.1f}x slower)",
+    ]
+    save_result("headline_comparison", "\n".join(lines))
+    assert headline["atom_speedup"] == pytest.approx(12, rel=0.15)
+    assert headline["pung_speedup"] == pytest.approx(3.7, rel=0.15)

@@ -1,0 +1,49 @@
+"""Figure 5: end-to-end latency vs. number of servers with 2M users.
+
+Paper reference: XRD's latency falls as √(2/N) (251 s at 100 servers, ≈ 84 s
+extrapolated to 1000); the baselines fall as 1/N, so Pung catches up at
+roughly a thousand servers and Atom's 12× gap collapses by ~3000 servers.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import figures, render_figure
+from repro.simulation.latency import xrd_latency, xrd_latency_pipeline
+
+from benchmarks.conftest import save_result
+
+
+def test_fig5_latency_vs_servers(benchmark):
+    figure = benchmark(figures.figure5)
+    save_result("fig5_latency_vs_servers", render_figure(figure))
+    servers = figure["x"]
+    xrd = dict(zip(servers, figure["series"]["XRD"]))
+    pung = dict(zip(servers, figure["series"]["Pung"]))
+
+    assert xrd[100] == pytest.approx(251, rel=0.10)
+    assert xrd[1000] == pytest.approx(84, rel=0.15)
+    # √(2/N) scaling: quadrupling the servers halves the latency (roughly).
+    assert xrd[50] / xrd[200] == pytest.approx(math.sqrt(4), rel=0.25)
+    # Crossover with Pung near a thousand servers.
+    assert pung[100] > xrd[100]
+    assert pung[3000] < xrd[3000]
+    # XRD latency is monotonically decreasing in the number of servers.
+    ordered = [xrd[n] for n in servers]
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_fig5_pipeline_model_agrees(benchmark):
+    """The discrete-event pipeline model agrees with the closed form within 2x."""
+
+    def run():
+        return {
+            n: xrd_latency_pipeline(200_000, n, malicious_fraction=0.2, security_bits=20)
+            for n in (20, 40, 80)
+        }
+
+    pipeline = benchmark(run)
+    for n, value in pipeline.items():
+        closed = xrd_latency(200_000, n, malicious_fraction=0.2, security_bits=20)
+        assert 0.4 * closed <= value <= 3.0 * closed

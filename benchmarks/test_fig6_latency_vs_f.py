@@ -1,0 +1,48 @@
+"""Figure 6: XRD latency vs. the assumed fraction of malicious servers f.
+
+Paper reference: with 2M users and 100 servers, latency grows as
+``-1/log(f)`` because the chain length k does (≈ 251 s at f = 0.2, growing
+steeply beyond f ≈ 0.4).  Stadium's chains also lengthen with f but its
+verifiable shuffles make the effect super-linear; Pung is unaffected because
+it already assumes f = 1.
+"""
+
+import pytest
+
+from repro.analysis import figures, render_figure
+from repro.baselines import PungModel, StadiumModel
+from repro.mixnet.chain import required_chain_length
+
+from benchmarks.conftest import save_result
+
+
+def test_fig6_latency_vs_f(benchmark):
+    figure = benchmark(figures.figure6)
+    save_result("fig6_latency_vs_f", render_figure(figure))
+    fractions = figure["x"]
+    latencies = dict(zip(fractions, figure["series"]["XRD latency"]))
+    chain_lengths = dict(zip(fractions, figure["series"]["chain length k"]))
+
+    assert latencies[0.2] == pytest.approx(251, rel=0.10)
+    # Latency is monotone in f and tracks the chain length.
+    assert [latencies[f] for f in fractions] == sorted(latencies[f] for f in fractions)
+    assert [chain_lengths[f] for f in fractions] == sorted(chain_lengths[f] for f in fractions)
+    # The -1/log(f) shape: latency roughly doubles from f=0.1 to f=0.4.
+    assert 2.0 < latencies[0.45] / latencies[0.05] < 4.5
+
+
+def test_fig6_comparisons_with_other_systems(benchmark):
+    def run():
+        stadium = StadiumModel()
+        pung = PungModel("xpir")
+        return {
+            "stadium_ratio": stadium.latency_vs_f(2_000_000, 100, 0.4)
+            / stadium.latency_vs_f(2_000_000, 100, 0.2),
+            "pung_ratio": pung.latency(2_000_000, 100) / pung.latency(2_000_000, 100),
+            "k_ratio": required_chain_length(0.4, 100) / required_chain_length(0.2, 100),
+        }
+
+    ratios = benchmark(run)
+    # Stadium suffers super-linearly in the chain-length increase; Pung not at all.
+    assert ratios["stadium_ratio"] > ratios["k_ratio"]
+    assert ratios["pung_ratio"] == 1.0

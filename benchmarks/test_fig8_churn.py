@@ -1,0 +1,47 @@
+"""Figure 8: conversation failure rate vs. server churn rate.
+
+Paper reference: with chains of ~32 servers, 1% server churn already breaks
+~27% of conversations and 4% churn breaks ~70%, nearly independent of the
+network size (100 / 500 / 1000 servers).  Both the analytic curve and a
+Monte-Carlo simulation over the real chain-formation/selection code are
+generated.
+"""
+
+import pytest
+
+from repro.analysis import figures, render_figure
+from repro.simulation.churn import simulate_failure_rate
+
+from benchmarks.conftest import save_result
+
+
+def test_fig8_churn_analytic(benchmark):
+    figure = benchmark(figures.figure8)
+    save_result("fig8_churn", render_figure(figure))
+    series_100 = dict(zip(figure["x"], figure["series"]["XRD (100 servers)"]))
+    series_1000 = dict(zip(figure["x"], figure["series"]["XRD (1000 servers)"]))
+    assert series_100[0.01] == pytest.approx(0.27, abs=0.03)
+    assert series_100[0.04] == pytest.approx(0.72, abs=0.05)
+    # Nearly independent of network size (k only grows logarithmically).
+    assert abs(series_1000[0.01] - series_100[0.01]) < 0.05
+
+
+def test_fig8_monte_carlo_agrees_with_analytic(benchmark):
+    def run():
+        return simulate_failure_rate(
+            num_servers=60,
+            churn_rate=0.02,
+            security_bits=20,
+            trials=8,
+            conversations_per_trial=150,
+            seed=5,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "fig8_monte_carlo",
+        "Monte-Carlo churn check (60 servers, 2% churn): "
+        f"simulated={result.failure_rate:.3f} analytic={result.analytic_rate:.3f} "
+        f"(chain length k={result.chain_length})",
+    )
+    assert result.failure_rate == pytest.approx(result.analytic_rate, abs=0.12)

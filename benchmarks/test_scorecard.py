@@ -1,0 +1,20 @@
+"""Reproduction scorecard: every paper-reported quantity vs. this repository.
+
+This is the machine-checkable summary behind EXPERIMENTS.md — regenerating it
+is cheap, and the assertion that every entry is within its tolerance is the
+repository's headline reproduction claim in one place.
+"""
+
+from repro.analysis.scorecard import build_scorecard, render_scorecard
+
+from benchmarks.conftest import save_result
+
+
+def test_reproduction_scorecard(benchmark):
+    entries = benchmark(build_scorecard)
+    save_result("scorecard", render_scorecard(entries))
+    off_target = [entry for entry in entries if not entry.within_tolerance]
+    assert not off_target, [
+        (entry.figure, entry.quantity, entry.ratio) for entry in off_target
+    ]
+    assert len(entries) >= 15

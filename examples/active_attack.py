@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Active attacks against XRD — and how the aggregate hybrid shuffle stops them.
+
+The example demonstrates the three adversarial behaviours §6 of the paper is
+designed to defeat:
+
+1. a malicious first server silently tampering with a ciphertext
+   (caught by the downstream honest server; the blame protocol convicts it),
+2. a malicious server trying to be cleverer — changing Diffie-Hellman keys
+   while preserving the aggregate so the batch proof still verifies
+   (still caught, via the per-message DLEQs of the blame protocol), and
+3. a malicious *user* submitting a ciphertext that fails authentication at
+   the last server, trying to trigger expensive blame work
+   (the blame protocol convicts her, removes her submission, and the round
+   completes for everyone else).
+
+Run with::
+
+    python examples/active_attack.py
+"""
+
+from repro import Deployment, DeploymentConfig
+from repro.coordinator.adversary import (
+    MODE_PRESERVE_AGGREGATE,
+    MODE_TAMPER_CIPHERTEXT,
+    forge_misauthenticated_submission,
+    install_tampering_server,
+)
+
+
+def fresh_deployment(seed: int) -> Deployment:
+    return Deployment.create(
+        DeploymentConfig(
+            num_servers=4, num_users=6, num_chains=3, chain_length=3, seed=seed, group_kind="modp"
+        )
+    )
+
+
+def scenario_tampering_server() -> None:
+    print("=== Scenario 1: first server tampers with a ciphertext ===")
+    deployment = fresh_deployment(seed=101)
+    guilty = deployment.chain(0).members[0].server_name
+    install_tampering_server(deployment, chain_id=0, position=0, mode=MODE_TAMPER_CIPHERTEXT)
+    report = deployment.run_round()
+    result = report.chain_results[0]
+    print(f"  chain 0 status: {result.status}")
+    print(f"  blame verdict:  malicious servers = {result.blame_verdict.malicious_servers} "
+          f"(the tamperer was {guilty})")
+    print(f"  messages released by the tampered chain: {len(result.mailbox_messages)} "
+          "(nothing observable leaks)")
+    print(f"  other chains delivered normally: "
+          f"{all(r.delivered for cid, r in report.chain_results.items() if cid != 0)}\n")
+
+
+def scenario_aggregate_preserving() -> None:
+    print("=== Scenario 2: tampering that preserves the aggregate proof ===")
+    deployment = fresh_deployment(seed=102)
+    install_tampering_server(deployment, chain_id=0, position=0, mode=MODE_PRESERVE_AGGREGATE)
+    report = deployment.run_round()
+    result = report.chain_results[0]
+    print(f"  chain 0 status: {result.status}")
+    print(f"  blame verdict:  malicious servers = {result.blame_verdict.malicious_servers}, "
+          f"malicious users = {result.blame_verdict.malicious_users} (no honest user is framed)\n")
+
+
+def scenario_malicious_user() -> None:
+    print("=== Scenario 3: malicious user sends a misauthenticated ciphertext ===")
+    deployment = fresh_deployment(seed=103)
+    alice, bob = deployment.users[0].name, deployment.users[1].name
+    deployment.start_conversation(alice, bob)
+    views = deployment.chain_keys_view(1)
+    bad = forge_misauthenticated_submission(deployment.group, views[0], 1, sender_name="mallory")
+    report = deployment.run_round(
+        payloads={alice: b"did you see mallory?", bob: b"who?"}, extra_submissions=[bad]
+    )
+    print(f"  users removed from the round by the blame protocol: {report.rejected_senders}")
+    print(f"  chain 0 still delivered after removing her: {report.chain_results[0].delivered}")
+    print(f"  {bob} still received: {report.conversation_payloads(bob)}")
+    print(f"  {alice} still received: {report.conversation_payloads(alice)}")
+
+
+def main() -> None:
+    scenario_tampering_server()
+    scenario_aggregate_preserving()
+    scenario_malicious_user()
+    print("\nAll three active attacks were detected and attributed correctly.")
+
+
+if __name__ == "__main__":
+    main()

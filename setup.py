@@ -1,0 +1,10 @@
+"""Shim so that ``python setup.py develop`` works in offline environments.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists only
+because editable installs with very old setuptools/pip combinations (and no
+``wheel`` package available) fall back to the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""XRD reproduction: scalable metadata-private messaging with cryptographic privacy.
+
+This package is a from-scratch Python reproduction of *XRD: Scalable
+Messaging System with Cryptographic Privacy* (Kwon, Lu, Devadas — NSDI 2020).
+It contains the full protocol stack (crypto substrate, parallel mix chains
+with the aggregate hybrid shuffle, mailboxes, client protocol), a calibrated
+performance model used to regenerate the paper's evaluation figures, and cost
+models of the baseline systems the paper compares against (Atom, Pung,
+Stadium).
+
+Quickstart::
+
+    from repro import Deployment, DeploymentConfig
+
+    config = DeploymentConfig(num_servers=4, num_chains=3, chain_length=2,
+                              num_users=8, malicious_fraction=0.0)
+    deployment = Deployment.create(config)
+    alice, bob = deployment.users[0], deployment.users[1]
+    deployment.start_conversation(alice.name, bob.name)
+    report = deployment.run_round(payloads={alice.name: b"hi bob", bob.name: b"hi alice"})
+    print(report.delivered[bob.name])
+
+The heavyweight sub-packages are imported lazily so that, e.g., using only
+the crypto substrate does not pull in the whole coordinator stack.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["Deployment", "DeploymentConfig", "RoundReport", "__version__"]
+
+
+def __getattr__(name: str):
+    if name in ("Deployment", "DeploymentConfig", "RoundReport"):
+        from repro.coordinator import network
+
+        return getattr(network, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

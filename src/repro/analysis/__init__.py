@@ -1,0 +1,7 @@
+"""Figure/table generators, reproduction scorecard, and text rendering."""
+
+from repro.analysis import figures
+from repro.analysis.report import render_figure, render_table
+from repro.analysis.scorecard import build_scorecard, render_scorecard
+
+__all__ = ["build_scorecard", "figures", "render_figure", "render_scorecard", "render_table"]

@@ -1,0 +1,53 @@
+"""Plain-text rendering of figure data (no plotting dependencies needed)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["render_table", "render_figure", "format_value"]
+
+
+def format_value(value) -> str:
+    """Format a cell: floats get sensible precision, everything else str()."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width text table."""
+    formatted = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)
+
+
+def render_figure(figure: Mapping) -> str:
+    """Render a figure dict (as produced by :mod:`repro.analysis.figures`) as text."""
+    x_label = figure.get("x_label", "x")
+    x_values = figure["x"]
+    series: Dict[str, Sequence] = figure["series"]
+    headers = [x_label] + list(series)
+    rows: List[List] = []
+    for index, x_value in enumerate(x_values):
+        rows.append([x_value] + [series[name][index] for name in series])
+    title = figure.get("title", "")
+    unit = figure.get("unit", "")
+    header_line = f"{title}" + (f" [{unit}]" if unit else "")
+    return header_line + "\n" + render_table(headers, rows)

@@ -1,0 +1,26 @@
+"""Baseline systems the paper compares against (§2, §8).
+
+Each baseline exposes the same estimator interface — ``latency(M, N)``,
+``user_bandwidth(M, N)`` and ``user_compute(M, N)`` — calibrated against the
+numbers the paper itself reports (the paper likewise compares against
+extrapolated estimates for these systems, e.g. single-machine Pung runs
+scaled to N servers).  Pung additionally ships a small *functional*
+information-theoretic PIR store so the "work per query grows with the number
+of users" behaviour can be exercised, not just modelled.
+"""
+
+from repro.baselines.atom import AtomModel
+from repro.baselines.common import BaselineEstimate, SystemModel
+from repro.baselines.pung import PungModel, TwoServerPIRStore
+from repro.baselines.stadium import StadiumModel
+from repro.baselines.xrd_model import XRDModel
+
+__all__ = [
+    "AtomModel",
+    "BaselineEstimate",
+    "PungModel",
+    "StadiumModel",
+    "SystemModel",
+    "TwoServerPIRStore",
+    "XRDModel",
+]

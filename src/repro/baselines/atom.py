@@ -1,0 +1,66 @@
+"""Atom (SOSP'17) cost model.
+
+Atom provides cryptographic *sender anonymity* and scales horizontally, but
+routes every message through hundreds of servers in series and relies on
+public-key cryptography (or trap messages) at every hop, so its latency is an
+order of magnitude above XRD's at comparable scale (§8.2).  The model is
+calibrated to the comparison points the paper reports: ≈1532 s for 1M users
+on 100 servers (12× XRD's 128 s), scaling as ``M/N`` with a fixed serial
+routing cost of ≈300 hops.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import SystemModel
+
+__all__ = ["AtomModel"]
+
+
+class AtomModel(SystemModel):
+    """Calibrated Atom estimator."""
+
+    name = "Atom"
+    privacy = "cryptographic (sender anonymity)"
+    threat_model = "any fraction of servers and users"
+
+    #: Per-user server work multiplied by servers, fit from 1532 s @ (1M, 100):
+    #: latency ≈ WORK_FACTOR · M / N + ROUTE_HOPS · PER_HOP_LATENCY.
+    WORK_FACTOR = 0.1511  # seconds · servers / user
+    ROUTE_HOPS = 300
+    PER_HOP_LATENCY = 0.07  # seconds of network latency per serial hop
+
+    #: Users submit a single onion of a few KB and a trap message; costs do
+    #: not grow with the number of servers (Figure 2/3 show Atom near zero).
+    USER_BANDWIDTH_BYTES = 1024
+    USER_COMPUTE_SECONDS = 0.015
+
+    #: Slowdown factor for the variant that resists malicious-user DoS
+    #: (the paper notes ≥4× for the non-trap variant, §8.2).
+    MALICIOUS_USER_PROTECTION_SLOWDOWN = 4.0
+
+    def __init__(self, protect_against_malicious_users: bool = False) -> None:
+        self.protect_against_malicious_users = protect_against_malicious_users
+
+    def latency(self, num_users: int, num_servers: int) -> float:
+        latency = (
+            self.WORK_FACTOR * num_users / num_servers
+            + self.ROUTE_HOPS * self.PER_HOP_LATENCY
+        )
+        if self.protect_against_malicious_users:
+            latency *= self.MALICIOUS_USER_PROTECTION_SLOWDOWN
+        return latency
+
+    def user_bandwidth(self, num_users: int, num_servers: int) -> float:
+        return float(self.USER_BANDWIDTH_BYTES)
+
+    def user_compute(self, num_users: int, num_servers: int) -> float:
+        return self.USER_COMPUTE_SECONDS
+
+    def fault_tolerance_slowdown(self, tolerated_fraction: float) -> float:
+        """Latency multiplier for tolerating a fraction of failing servers (§8.3).
+
+        Atom can tolerate failures with threshold cryptography at a latency
+        cost; the paper estimates ≈10% slowdown to tolerate 1% failures and
+        the cost grows roughly linearly with the tolerated fraction.
+        """
+        return 1.0 + 10.0 * max(0.0, tolerated_fraction)

@@ -1,0 +1,72 @@
+"""Shared interface for the comparison systems.
+
+All models expose latency, per-user bandwidth, and per-user computation as a
+function of the number of users ``M`` and servers ``N``, and report what
+privacy guarantee they provide — the axis the paper's Related Work section
+organises systems along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["BaselineEstimate", "SystemModel"]
+
+
+@dataclass(frozen=True)
+class BaselineEstimate:
+    """One system's estimated costs for a deployment point (M users, N servers)."""
+
+    system: str
+    num_users: int
+    num_servers: int
+    latency_seconds: float
+    user_bandwidth_bytes: float
+    user_compute_seconds: float
+
+
+class SystemModel:
+    """Base class for comparison-system cost models."""
+
+    #: Human-readable name used in figures.
+    name: str = "system"
+    #: Privacy guarantee label (cryptographic / differential / none).
+    privacy: str = "unspecified"
+    #: Threat model summary.
+    threat_model: str = "unspecified"
+
+    def latency(self, num_users: int, num_servers: int) -> float:
+        """End-to-end latency for one round, in seconds."""
+        raise NotImplementedError
+
+    def user_bandwidth(self, num_users: int, num_servers: int) -> float:
+        """Per-user, per-round bandwidth in bytes."""
+        raise NotImplementedError
+
+    def user_compute(self, num_users: int, num_servers: int) -> float:
+        """Per-user, per-round single-core computation in seconds."""
+        raise NotImplementedError
+
+    def estimate(self, num_users: int, num_servers: int) -> BaselineEstimate:
+        """Bundle all three estimates for one deployment point."""
+        if num_users < 0 or num_servers < 1:
+            raise SimulationError("invalid deployment point")
+        return BaselineEstimate(
+            system=self.name,
+            num_users=num_users,
+            num_servers=num_servers,
+            latency_seconds=self.latency(num_users, num_servers),
+            user_bandwidth_bytes=self.user_bandwidth(num_users, num_servers),
+            user_compute_seconds=self.user_compute(num_users, num_servers),
+        )
+
+    def sweep_users(self, user_counts: Sequence[int], num_servers: int) -> Dict[int, BaselineEstimate]:
+        """Estimates across a range of user counts (Figure 4 style sweeps)."""
+        return {count: self.estimate(count, num_servers) for count in user_counts}
+
+    def sweep_servers(self, num_users: int, server_counts: Sequence[int]) -> Dict[int, BaselineEstimate]:
+        """Estimates across a range of server counts (Figure 2/3/5 style sweeps)."""
+        return {count: self.estimate(num_users, count) for count in server_counts}

@@ -1,0 +1,64 @@
+"""Stadium (SOSP'17) cost model.
+
+Stadium provides *differentially private* messaging (eε ≈ 10, δ < 1e-4, a
+budget of ≈10⁴ sensitive messages per user) using two layers of parallel mix
+chains with verifiable shuffles.  It is faster than XRD — the paper estimates
+2× at 1M users / 100 servers and ≈3.3× at 2M — because each Stadium user
+submits a single message per round; XRD's gap comes from every user
+submitting ℓ ≈ √(2N) messages.  The model is calibrated to the paper's
+comparison points (64 s @ 1M and 138 s @ 2M users on 100 servers) and scales
+as ``M/N`` with a floor set by its 9-server chain traversal.  Its chains
+lengthen with ``f`` like XRD's, but the verifiable-shuffle proofs make the
+effect super-linear (§8.2, "impact of f").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import SystemModel
+from repro.mixnet.chain import required_chain_length
+
+__all__ = ["StadiumModel"]
+
+
+class StadiumModel(SystemModel):
+    """Calibrated Stadium estimator."""
+
+    name = "Stadium"
+    privacy = "differential privacy (eps ~ ln 10, ~10^4 message budget)"
+    threat_model = "network adversary + fraction f of servers"
+
+    #: Linear fit through the paper's two anchors at N = 100:
+    #: 64 s @ 1M users and 138 s @ 2M users.
+    PER_USER_SECONDS_AT_100 = 74e-6
+    FIXED_OFFSET_AT_100 = -10.0
+    #: Chain length used in the paper's evaluation.
+    CHAIN_LENGTH = 9
+    PER_HOP_LATENCY = 0.07
+    #: Dummy-message noise per round is a few hundred bytes of user traffic.
+    USER_BANDWIDTH_BYTES = 800
+    USER_COMPUTE_SECONDS = 0.002
+
+    def __init__(self, malicious_fraction: float = 0.2) -> None:
+        self.malicious_fraction = malicious_fraction
+
+    def latency(self, num_users: int, num_servers: int) -> float:
+        scaled = (
+            self.PER_USER_SECONDS_AT_100 * num_users + self.FIXED_OFFSET_AT_100
+        ) * (100.0 / num_servers)
+        floor = self.CHAIN_LENGTH * self.PER_HOP_LATENCY
+        return max(scaled, floor)
+
+    def latency_vs_f(self, num_users: int, num_servers: int, malicious_fraction: float) -> float:
+        """Latency accounting for longer chains (and superlinear proof cost) as f grows."""
+        base = self.latency(num_users, num_servers)
+        reference_length = required_chain_length(0.2, num_servers)
+        length = required_chain_length(malicious_fraction, num_servers)
+        # Verifiable-shuffle verification is quadratic-ish in chain length
+        # (§10.3 of the Stadium paper, as cited in §8.2).
+        return base * (length / reference_length) ** 2
+
+    def user_bandwidth(self, num_users: int, num_servers: int) -> float:
+        return float(self.USER_BANDWIDTH_BYTES)
+
+    def user_compute(self, num_users: int, num_servers: int) -> float:
+        return self.USER_COMPUTE_SECONDS

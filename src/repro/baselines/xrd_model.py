@@ -1,0 +1,65 @@
+"""XRD expressed through the common :class:`SystemModel` interface.
+
+This wraps the analytic models of :mod:`repro.simulation` so the figure
+generators can sweep XRD and the baselines uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.common import SystemModel
+from repro.constants import CHAIN_SECURITY_BITS, DEFAULT_MALICIOUS_FRACTION
+from repro.simulation.bandwidth import xrd_user_bandwidth, xrd_user_compute
+from repro.simulation.costmodel import CostModel
+from repro.simulation.latency import xrd_latency
+
+__all__ = ["XRDModel"]
+
+
+class XRDModel(SystemModel):
+    """Cost model for XRD itself (calibrated to the paper's testbed by default)."""
+
+    name = "XRD"
+    privacy = "cryptographic"
+    threat_model = "network adversary + fraction f of servers + any users"
+
+    def __init__(
+        self,
+        malicious_fraction: float = DEFAULT_MALICIOUS_FRACTION,
+        cost_model: Optional[CostModel] = None,
+        security_bits: int = CHAIN_SECURITY_BITS,
+        cover_messages: bool = True,
+    ) -> None:
+        self.malicious_fraction = malicious_fraction
+        self.cost_model = cost_model or CostModel.paper_testbed()
+        self.security_bits = security_bits
+        self.cover_messages = cover_messages
+
+    def latency(self, num_users: int, num_servers: int) -> float:
+        return xrd_latency(
+            num_users,
+            num_servers,
+            malicious_fraction=self.malicious_fraction,
+            cost_model=self.cost_model,
+            security_bits=self.security_bits,
+        )
+
+    def user_bandwidth(self, num_users: int, num_servers: int) -> float:
+        cost = xrd_user_bandwidth(
+            num_servers,
+            malicious_fraction=self.malicious_fraction,
+            cover_messages=self.cover_messages,
+            security_bits=self.security_bits,
+        )
+        return float(cost.total_bytes)
+
+    def user_compute(self, num_users: int, num_servers: int) -> float:
+        cost = xrd_user_compute(
+            num_servers,
+            malicious_fraction=self.malicious_fraction,
+            cost_model=self.cost_model,
+            cover_messages=self.cover_messages,
+            security_bits=self.security_bits,
+        )
+        return cost.compute_seconds

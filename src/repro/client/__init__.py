@@ -1,0 +1,32 @@
+"""Client-side protocol: chain selection, conversations, and the user agent."""
+
+from repro.client.chain_selection import (
+    all_pairs_intersect,
+    assign_group,
+    build_group_chain_sets,
+    chains_for_group,
+    chains_for_user,
+    ell_for_chains,
+    intersection_chain,
+    num_logical_chains,
+)
+from repro.client.conversation import Conversation
+from repro.client.group import GroupConversationPlanner, GroupPlan
+from repro.client.user import ChainKeysView, ReceivedMessage, User
+
+__all__ = [
+    "ChainKeysView",
+    "Conversation",
+    "GroupConversationPlanner",
+    "GroupPlan",
+    "ReceivedMessage",
+    "User",
+    "all_pairs_intersect",
+    "assign_group",
+    "build_group_chain_sets",
+    "chains_for_group",
+    "chains_for_user",
+    "ell_for_chains",
+    "intersection_chain",
+    "num_logical_chains",
+]

@@ -1,0 +1,127 @@
+"""Group conversations (the §9 extension).
+
+The paper observes that XRD already supports a group conversation whenever
+every *pair* of group members intersects at a distinct chain: each member
+then runs an ordinary pairwise conversation with every other member, and the
+per-round message budget (ℓ messages, one per assigned chain) is simply spent
+on several conversation messages instead of loopbacks.  What the current
+protocol cannot do is carry two different conversations of one user over the
+*same* chain.
+
+:class:`GroupConversationPlanner` implements the feasibility check and the
+per-round send plan for that extension: given the members' public keys it
+computes every pair's intersection chain, reports whether the group is
+supportable (all pairwise chains distinct per member), and produces, for each
+member, the mapping ``chain id → partner`` that a client would use to fill
+its ℓ slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.client.chain_selection import chains_for_user, intersection_chain
+from repro.errors import ChainSelectionError
+
+__all__ = ["GroupPlan", "GroupConversationPlanner"]
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """The per-round send plan for one feasible group conversation."""
+
+    members: Tuple[str, ...]
+    #: pair (name_a, name_b) → physical chain on which they exchange messages.
+    pair_chains: Mapping[Tuple[str, str], int]
+    #: member name → {chain id: partner name} describing how that member
+    #: fills her conversation slots; unlisted assigned chains carry loopbacks.
+    send_plan: Mapping[str, Mapping[int, str]]
+
+    def partners_of(self, member: str) -> List[str]:
+        return sorted(self.send_plan.get(member, {}).values())
+
+    def chain_for_pair(self, member_a: str, member_b: str) -> int:
+        key = (member_a, member_b) if (member_a, member_b) in self.pair_chains else (member_b, member_a)
+        return self.pair_chains[key]
+
+
+class GroupConversationPlanner:
+    """Feasibility analysis and send planning for §9 group conversations."""
+
+    def __init__(self, num_chains: int) -> None:
+        if num_chains < 1:
+            raise ChainSelectionError("the network needs at least one chain")
+        self.num_chains = num_chains
+
+    def pairwise_chains(
+        self, members: Mapping[str, bytes]
+    ) -> Dict[Tuple[str, str], int]:
+        """Intersection chain for every pair of members (names sorted within a pair)."""
+        if len(members) < 2:
+            raise ChainSelectionError("a group conversation needs at least two members")
+        chains: Dict[Tuple[str, str], int] = {}
+        for (name_a, key_a), (name_b, key_b) in combinations(sorted(members.items()), 2):
+            chains[(name_a, name_b)] = intersection_chain(key_a, key_b, self.num_chains)
+        return chains
+
+    def conflicts(self, members: Mapping[str, bytes]) -> List[Tuple[str, int, List[str]]]:
+        """Members whose partners collide on a chain: ``(member, chain, partners)``.
+
+        A non-empty result means the group is *not* supportable by the current
+        protocol (the paper's stated limitation); the conflicting member would
+        have to multiplex two conversations over one chain.
+        """
+        pair_chains = self.pairwise_chains(members)
+        per_member: Dict[str, Dict[int, List[str]]] = {name: {} for name in members}
+        for (name_a, name_b), chain in pair_chains.items():
+            per_member[name_a].setdefault(chain, []).append(name_b)
+            per_member[name_b].setdefault(chain, []).append(name_a)
+        found = []
+        for name, by_chain in per_member.items():
+            for chain, partners in by_chain.items():
+                if len(partners) > 1:
+                    found.append((name, chain, sorted(partners)))
+        return sorted(found)
+
+    def is_supportable(self, members: Mapping[str, bytes]) -> bool:
+        """True when every member meets each of her partners on a distinct chain."""
+        return not self.conflicts(members)
+
+    def plan(self, members: Mapping[str, bytes]) -> GroupPlan:
+        """Build the send plan; raises :class:`ChainSelectionError` on conflicts."""
+        conflicts = self.conflicts(members)
+        if conflicts:
+            description = "; ".join(
+                f"{name} meets {', '.join(partners)} on chain {chain}"
+                for name, chain, partners in conflicts
+            )
+            raise ChainSelectionError(
+                "group conversation not supportable by the current protocol: " + description
+            )
+        pair_chains = self.pairwise_chains(members)
+        send_plan: Dict[str, Dict[int, str]] = {name: {} for name in members}
+        for (name_a, name_b), chain in pair_chains.items():
+            send_plan[name_a][chain] = name_b
+            send_plan[name_b][chain] = name_a
+        # Sanity: every planned chain must be one the member is assigned to.
+        for name, by_chain in send_plan.items():
+            assigned = set(chains_for_user(members[name], self.num_chains))
+            missing = set(by_chain) - assigned
+            if missing:  # pragma: no cover - impossible by construction; defensive
+                raise ChainSelectionError(
+                    f"planned chains {sorted(missing)} are not assigned to {name}"
+                )
+        return GroupPlan(
+            members=tuple(sorted(members)),
+            pair_chains=pair_chains,
+            send_plan={name: dict(by_chain) for name, by_chain in send_plan.items()},
+        )
+
+    def loopback_chains(self, members: Mapping[str, bytes], member: str) -> List[int]:
+        """The assigned chains of ``member`` that remain loopback-only under the plan."""
+        plan = self.plan(members)
+        assigned = chains_for_user(members[member], self.num_chains)
+        used = set(plan.send_plan[member])
+        return [chain for chain in assigned if chain not in used]

@@ -1,0 +1,41 @@
+"""Protocol-wide constants.
+
+The values mirror the parameters used in the paper's evaluation (§7 and §8):
+256-byte payloads, an assumed malicious-server fraction of ``f = 0.2``, a
+security parameter of 64 bits for the anytrust chain-length computation, and
+one-minute rounds for bandwidth-rate conversions.
+"""
+
+from __future__ import annotations
+
+#: Size in bytes of a user payload before padding (≈ an SMS message / tweet).
+PAYLOAD_SIZE = 256
+
+#: Size in bytes of an encoded group element (Ed25519 compressed point).
+GROUP_ELEMENT_SIZE = 32
+
+#: Size in bytes of a Poly1305 authentication tag.
+AEAD_TAG_SIZE = 16
+
+#: Size in bytes of the AEAD nonce (IETF ChaCha20-Poly1305).
+AEAD_NONCE_SIZE = 12
+
+#: Default assumed fraction of malicious servers (the paper uses 20%).
+DEFAULT_MALICIOUS_FRACTION = 0.2
+
+#: Security parameter: the probability that any chain is fully malicious must
+#: be below ``2 ** -CHAIN_SECURITY_BITS``.
+CHAIN_SECURITY_BITS = 64
+
+#: Round duration in seconds used to convert per-round bytes into bandwidth.
+ROUND_DURATION_SECONDS = 60.0
+
+#: Domain-separation labels for key derivation.
+KDF_LABEL_OUTER = b"xrd/outer-layer"
+KDF_LABEL_INNER = b"xrd/inner-envelope"
+KDF_LABEL_LOOPBACK = b"xrd/loopback"
+KDF_LABEL_CONVERSATION = b"xrd/conversation"
+
+#: Domain-separation labels for Fiat-Shamir transcripts.
+NIZK_LABEL_DLOG = b"xrd/nizk/knowledge-of-dlog"
+NIZK_LABEL_DLEQ = b"xrd/nizk/dlog-equality"

@@ -1,0 +1,5 @@
+"""Deployment construction and round orchestration."""
+
+from repro.coordinator.network import Deployment, DeploymentConfig, MixServerNode, RoundReport
+
+__all__ = ["Deployment", "DeploymentConfig", "MixServerNode", "RoundReport"]

@@ -1,0 +1,200 @@
+"""Adversarial behaviours for tests and experiments.
+
+The paper's security argument (§6, Appendix A/B) is about what an *active*
+adversary — malicious servers tampering with messages, malicious users
+submitting misauthenticated ciphertexts — can and cannot get away with.
+This module implements those behaviours so the test suite and the blame
+benchmarks can exercise them:
+
+* :class:`TamperingMember` wraps an honest :class:`ChainMember` and corrupts
+  its output in one of several ways;
+* :func:`install_tampering_server` swaps a chain position over to the
+  tampering wrapper inside an existing deployment;
+* :func:`forge_misauthenticated_submission` builds the malicious-user
+  submission of §8.2's blame experiment: outer layers that authenticate at
+  the first ``fail_at_position`` servers and garbage below.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Optional, Sequence
+
+from repro.client.user import ChainKeysView
+from repro.crypto.nizk import prove_dlog
+from repro.errors import ConfigurationError
+from repro.mixnet.ahs import ChainMember, MixStepResult, submission_context
+from repro.mixnet.messages import BatchEntry, ClientSubmission
+
+__all__ = [
+    "TamperingMember",
+    "install_tampering_server",
+    "forge_misauthenticated_submission",
+    "forge_invalid_proof_submission",
+]
+
+#: Corrupt the ciphertext of one output entry while leaving the DH keys (and
+#: therefore the aggregate blinding proof) intact.  Detected downstream by
+#: authenticated decryption failing at the next honest server, which starts
+#: the blame protocol and convicts this server.
+MODE_TAMPER_CIPHERTEXT = "tamper-ciphertext"
+
+#: Replace one output DH key without fixing the aggregate.  Detected
+#: immediately because the aggregate blinding proof no longer verifies.
+MODE_BREAK_AGGREGATE = "break-aggregate"
+
+#: Shift one output DH key by +Δ and another by −Δ so the aggregate (and the
+#: proof) still verifies, mimicking the strongest algebraic attack the
+#: security proof considers.  Detected downstream via authentication failure
+#: and convicted by the blame protocol's per-message DLEQ check.
+MODE_PRESERVE_AGGREGATE = "preserve-aggregate"
+
+#: Drop one message entirely (the classic mix-net active attack).  The batch
+#: size and aggregate both change, so verification fails immediately.
+MODE_DROP_MESSAGE = "drop-message"
+
+_MODES = (
+    MODE_TAMPER_CIPHERTEXT,
+    MODE_BREAK_AGGREGATE,
+    MODE_PRESERVE_AGGREGATE,
+    MODE_DROP_MESSAGE,
+)
+
+
+class TamperingMember:
+    """A malicious chain member: honest key material, corrupted mixing step.
+
+    The wrapper delegates everything except :meth:`process_round` to the
+    wrapped honest member, so its keys, proofs of knowledge, and blame
+    reveals are all "real" — exactly the situation the AHS verification has
+    to catch.
+    """
+
+    def __init__(self, member: ChainMember, mode: str, target_index: int = 0) -> None:
+        if mode not in _MODES:
+            raise ConfigurationError(f"unknown tampering mode {mode!r}")
+        self._member = member
+        self.mode = mode
+        self.target_index = target_index
+
+    def __getattr__(self, name: str):
+        return getattr(self._member, name)
+
+    def process_round(self, round_number: int, entries: Sequence[BatchEntry]) -> MixStepResult:
+        result = self._member.process_round(round_number, entries)
+        if result.halted or not result.entries:
+            return result
+        group = self._member.group
+        outputs: List[BatchEntry] = list(result.entries)
+        target = self.target_index % len(outputs)
+        if self.mode == MODE_TAMPER_CIPHERTEXT:
+            corrupted = bytes(outputs[target].ciphertext[:-1]) + bytes(
+                [outputs[target].ciphertext[-1] ^ 0x01]
+            )
+            outputs[target] = BatchEntry(outputs[target].dh_public, corrupted)
+        elif self.mode == MODE_BREAK_AGGREGATE:
+            outputs[target] = BatchEntry(
+                group.base_mult(group.random_scalar()), outputs[target].ciphertext
+            )
+        elif self.mode == MODE_PRESERVE_AGGREGATE:
+            other = (target + 1) % len(outputs)
+            if other == target:
+                return MixStepResult(result.position, outputs, result.proof)
+            delta = group.base_mult(group.random_scalar())
+            outputs[target] = BatchEntry(
+                group.add(outputs[target].dh_public, delta), outputs[target].ciphertext
+            )
+            outputs[other] = BatchEntry(
+                group.sub(outputs[other].dh_public, delta), outputs[other].ciphertext
+            )
+        elif self.mode == MODE_DROP_MESSAGE:
+            del outputs[target]
+        return MixStepResult(position=result.position, entries=outputs, proof=result.proof)
+
+
+def install_tampering_server(deployment, chain_id: int, position: int, mode: str, target_index: int = 0) -> TamperingMember:
+    """Replace one chain position in ``deployment`` with a tampering wrapper."""
+    chain = deployment.chain(chain_id)
+    if not 0 <= position < len(chain.members):
+        raise ConfigurationError("position out of range for this chain")
+    wrapper = TamperingMember(chain.members[position], mode, target_index)
+    chain.members[position] = wrapper
+    return wrapper
+
+
+def forge_misauthenticated_submission(
+    group,
+    chain_keys: ChainKeysView,
+    round_number: int,
+    sender_name: str,
+    fail_at_position: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> ClientSubmission:
+    """Build a malicious user's submission that fails authentication mid-chain.
+
+    The outer layers for servers ``0 … fail_at_position-1`` are well formed;
+    the layer the server at ``fail_at_position`` tries to open is random
+    bytes, so its authenticated decryption fails and the blame protocol runs.
+    The submission's knowledge-of-discrete-log NIZK is valid (the malicious
+    user *does* know her ephemeral secret), which is exactly why the blame
+    walk-back is needed to convict her.  ``fail_at_position`` defaults to the
+    last server — the paper's worst case (§8.2, "impact of blame protocol").
+    """
+    from repro.crypto.onion import encrypt_outer_layers
+
+    mixing_publics = list(chain_keys.mixing_publics)
+    chain_length = len(mixing_publics)
+    if fail_at_position is None:
+        fail_at_position = chain_length - 1
+    if not 0 <= fail_at_position < chain_length:
+        raise ConfigurationError("fail_at_position out of range")
+    ephemeral_secret = group.random_scalar(rng)
+    garbage = os.urandom(64)
+    ciphertext = encrypt_outer_layers(
+        group, mixing_publics[:fail_at_position], round_number, garbage, ephemeral_secret
+    )
+    proof = prove_dlog(
+        group,
+        group.base(),
+        ephemeral_secret,
+        submission_context(chain_keys.chain_id, round_number, sender_name),
+        rng,
+    )
+    return ClientSubmission(
+        chain_id=chain_keys.chain_id,
+        sender=sender_name,
+        dh_public=group.encode(group.base_mult(ephemeral_secret)),
+        ciphertext=ciphertext,
+        proof=proof,
+    )
+
+
+def forge_invalid_proof_submission(
+    group,
+    chain_keys: ChainKeysView,
+    round_number: int,
+    sender_name: str,
+    rng: Optional[random.Random] = None,
+) -> ClientSubmission:
+    """A submission whose knowledge-of-discrete-log proof is for the wrong key.
+
+    Such submissions are rejected immediately at intake (§6.4: misbehaviour
+    detected without running the blame protocol).
+    """
+    ephemeral_secret = group.random_scalar(rng)
+    wrong_secret = group.random_scalar(rng)
+    proof = prove_dlog(
+        group,
+        group.base(),
+        wrong_secret,
+        submission_context(chain_keys.chain_id, round_number, sender_name),
+        rng,
+    )
+    return ClientSubmission(
+        chain_id=chain_keys.chain_id,
+        sender=sender_name,
+        dh_public=group.encode(group.base_mult(ephemeral_secret)),
+        ciphertext=os.urandom(128),
+        proof=proof,
+    )

@@ -1,0 +1,381 @@
+"""Deployment construction and round orchestration (Figure 1).
+
+A :class:`Deployment` wires together every entity of the paper's Figure 1 —
+users, mix servers organised into anytrust chains, and mailbox servers — and
+drives communication rounds:
+
+1. users send one onion-encrypted message to each of their assigned chains
+   (plus cover messages for the next round),
+2. each chain runs the aggregate hybrid shuffle,
+3. the recovered mailbox messages are delivered to the mailbox servers, and
+4. users fetch and decrypt their mailboxes.
+
+The deployment is an in-process simulation: "sending" is a method call.  The
+protocol logic, message formats, and cryptography are exactly those a
+networked implementation would use; only the transport is elided (see
+DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.client.chain_selection import ell_for_chains
+from repro.client.user import ChainKeysView, ReceivedMessage, User
+from repro.crypto.group import Ed25519Group, ModPGroup
+from repro.crypto.keys import KeyDirectory, KeyPair
+from repro.crypto.randomness import PublicRandomnessBeacon
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mailbox import MailboxHub
+from repro.mixnet.ahs import ChainMember, ChainRoundResult, MixChain
+from repro.mixnet.chain import ChainTopology, form_chains, required_chain_length
+from repro.mixnet.messages import ClientSubmission
+
+__all__ = ["DeploymentConfig", "MixServerNode", "Deployment", "RoundReport"]
+
+
+@dataclass
+class DeploymentConfig:
+    """Parameters of a simulated XRD deployment.
+
+    ``num_chains`` defaults to ``num_servers`` (the paper sets ``n = N``) and
+    ``chain_length`` defaults to the anytrust formula for the configured
+    ``malicious_fraction`` and ``security_bits``.  ``group_kind`` selects the
+    cryptographic group: ``"ed25519"`` for the real curve or ``"modp"`` for
+    the small test group (fast, insecure — test use only).
+    """
+
+    num_servers: int = 4
+    num_users: int = 8
+    num_chains: Optional[int] = None
+    chain_length: Optional[int] = None
+    malicious_fraction: float = 0.0
+    security_bits: int = 16
+    num_mailbox_servers: int = 1
+    seed: Optional[int] = None
+    use_cover_messages: bool = True
+    group_kind: str = "ed25519"
+    modp_bits: int = 96
+
+    def resolved_num_chains(self) -> int:
+        return self.num_chains if self.num_chains is not None else self.num_servers
+
+    def resolved_chain_length(self) -> int:
+        if self.chain_length is not None:
+            return self.chain_length
+        length = required_chain_length(
+            self.malicious_fraction, self.resolved_num_chains(), self.security_bits
+        )
+        return min(length, self.num_servers)
+
+    def validate(self) -> None:
+        if self.num_servers < 1:
+            raise ConfigurationError("a deployment needs at least one mix server")
+        if self.num_users < 0:
+            raise ConfigurationError("number of users must be non-negative")
+        if self.resolved_num_chains() < 1:
+            raise ConfigurationError("a deployment needs at least one chain")
+        if self.resolved_chain_length() < 1:
+            raise ConfigurationError("chains need at least one server")
+        if not 0.0 <= self.malicious_fraction < 1.0:
+            raise ConfigurationError("malicious fraction must be in [0, 1)")
+        if self.group_kind not in ("ed25519", "modp"):
+            raise ConfigurationError("group_kind must be 'ed25519' or 'modp'")
+
+
+class MixServerNode:
+    """A physical mix server, holding one :class:`ChainMember` per chain it joins."""
+
+    def __init__(self, name: str, group, rng: Optional[random.Random] = None) -> None:
+        self.name = name
+        self.group = group
+        self._rng = rng
+        self.chain_members: Dict[int, ChainMember] = {}
+
+    def join_chain(self, chain_id: int, position: int) -> ChainMember:
+        """Create this server's member state for one chain."""
+        member_rng = self._rng if self._rng is not None else random.SystemRandom()
+        member = ChainMember(
+            server_name=self.name,
+            chain_id=chain_id,
+            position=position,
+            group=self.group,
+            rng=member_rng,
+        )
+        self.chain_members[chain_id] = member
+        return member
+
+    def chains(self) -> List[int]:
+        return list(self.chain_members)
+
+
+@dataclass
+class RoundReport:
+    """Everything observable about one completed round."""
+
+    round_number: int
+    delivered: Dict[str, List[ReceivedMessage]] = field(default_factory=dict)
+    mailbox_counts: Dict[str, int] = field(default_factory=dict)
+    chain_results: Dict[int, ChainRoundResult] = field(default_factory=dict)
+    offline_users: List[str] = field(default_factory=list)
+    used_cover_for: List[str] = field(default_factory=list)
+    rejected_senders: List[str] = field(default_factory=list)
+    total_submissions: int = 0
+    dropped_unknown_recipients: int = 0
+
+    def conversation_payloads(self, user_name: str) -> List[bytes]:
+        """Convenience: the conversation payloads delivered to ``user_name``."""
+        return [
+            message.content
+            for message in self.delivered.get(user_name, [])
+            if message.kind == ReceivedMessage.KIND_CONVERSATION
+        ]
+
+    def all_chains_delivered(self) -> bool:
+        return all(result.delivered for result in self.chain_results.values())
+
+
+class Deployment:
+    """A complete simulated XRD network."""
+
+    def __init__(
+        self,
+        config: DeploymentConfig,
+        group,
+        beacon: PublicRandomnessBeacon,
+        directory: KeyDirectory,
+        server_nodes: List[MixServerNode],
+        topologies: List[ChainTopology],
+        chains: List[MixChain],
+        mailboxes: MailboxHub,
+        users: List[User],
+    ) -> None:
+        self.config = config
+        self.group = group
+        self.beacon = beacon
+        self.directory = directory
+        self.server_nodes = server_nodes
+        self.topologies = topologies
+        self.chains = chains
+        self.mailboxes = mailboxes
+        self.users = users
+        self.next_round = 1
+        self._users_by_name = {user.name: user for user in users}
+        self._chains_by_id = {chain.chain_id: chain for chain in chains}
+        self._cover_store: Dict[str, List[ClientSubmission]] = {}
+        self._begun_rounds: Dict[int, Dict[int, object]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, config: DeploymentConfig) -> "Deployment":
+        """Build a deployment: servers, chains (with key ceremony), mailboxes, users."""
+        config.validate()
+        if config.group_kind == "modp":
+            group = ModPGroup(bits=config.modp_bits)
+        else:
+            group = Ed25519Group()
+        master_rng = random.Random(config.seed) if config.seed is not None else None
+        beacon_seed = (
+            b"xrd-deployment-" + str(config.seed).encode()
+            if config.seed is not None
+            else b"xrd-deployment"
+        )
+        beacon = PublicRandomnessBeacon(seed=beacon_seed)
+        directory = KeyDirectory(group=group)
+
+        def node_rng() -> Optional[random.Random]:
+            if master_rng is None:
+                return None
+            return random.Random(master_rng.getrandbits(64))
+
+        server_nodes = [
+            MixServerNode(name=f"server-{index}", group=group, rng=node_rng())
+            for index in range(config.num_servers)
+        ]
+        nodes_by_name = {node.name: node for node in server_nodes}
+
+        topologies = form_chains(
+            [node.name for node in server_nodes],
+            config.resolved_num_chains(),
+            config.resolved_chain_length(),
+            beacon=beacon,
+            epoch=0,
+        )
+        chains: List[MixChain] = []
+        for topology in topologies:
+            members = [
+                nodes_by_name[server_name].join_chain(topology.chain_id, position)
+                for position, server_name in enumerate(topology.servers)
+            ]
+            chain = MixChain(chain_id=topology.chain_id, members=members, group=group)
+            chain.setup()
+            chains.append(chain)
+
+        mailboxes = MailboxHub(num_servers=config.num_mailbox_servers)
+        users: List[User] = []
+        for index in range(config.num_users):
+            keypair = KeyPair.generate(group, node_rng())
+            user = User(name=f"user-{index}", group=group, keypair=keypair, rng=node_rng())
+            directory.register_user(user.name, user.public_bytes)
+            mailboxes.create_mailbox(user.public_bytes)
+            users.append(user)
+        for node in server_nodes:
+            directory.register_server(node.name, b"")
+
+        return cls(
+            config=config,
+            group=group,
+            beacon=beacon,
+            directory=directory,
+            server_nodes=server_nodes,
+            topologies=topologies,
+            chains=chains,
+            mailboxes=mailboxes,
+            users=users,
+        )
+
+    # -- lookups ------------------------------------------------------------------
+
+    def user(self, name: str) -> User:
+        if name not in self._users_by_name:
+            raise ConfigurationError(f"unknown user {name!r}")
+        return self._users_by_name[name]
+
+    def chain(self, chain_id: int) -> MixChain:
+        if chain_id not in self._chains_by_id:
+            raise ConfigurationError(f"unknown chain {chain_id}")
+        return self._chains_by_id[chain_id]
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    def ell(self) -> int:
+        """Number of chains each user sends to per round."""
+        return ell_for_chains(self.num_chains)
+
+    # -- conversations ----------------------------------------------------------------
+
+    def start_conversation(self, name_a: str, name_b: str, round_number: Optional[int] = None) -> None:
+        """Out-of-band agreement for two users to start talking (§3.1 / Alpenhorn)."""
+        round_number = round_number if round_number is not None else self.next_round
+        user_a = self.user(name_a)
+        user_b = self.user(name_b)
+        user_a.start_conversation(name_b, user_b.public_bytes, round_number)
+        user_b.start_conversation(name_a, user_a.public_bytes, round_number)
+
+    def end_conversation(self, name_a: str, name_b: str) -> None:
+        self.user(name_a).end_conversation()
+        self.user(name_b).end_conversation()
+
+    # -- round orchestration -------------------------------------------------------------
+
+    def _begin_round_on_chains(self, round_number: int) -> Dict[int, object]:
+        """Announce (idempotently) the per-round inner keys on every chain."""
+        if round_number not in self._begun_rounds:
+            aggregates = {}
+            for chain in self.chains:
+                aggregates[chain.chain_id] = chain.begin_round(round_number)
+            self._begun_rounds[round_number] = aggregates
+        return self._begun_rounds[round_number]
+
+    def chain_keys_view(self, round_number: int) -> Dict[int, ChainKeysView]:
+        """The public key material users need to build submissions for a round."""
+        aggregates = self._begin_round_on_chains(round_number)
+        views = {}
+        for chain in self.chains:
+            if chain.public_keys is None:
+                raise ProtocolError("chain setup has not completed")
+            views[chain.chain_id] = ChainKeysView(
+                chain_id=chain.chain_id,
+                mixing_publics=chain.public_keys.mixing_publics,
+                aggregate_inner_public=aggregates[chain.chain_id],
+            )
+        return views
+
+    def run_round(
+        self,
+        payloads: Optional[Dict[str, bytes]] = None,
+        offline_users: Optional[Iterable[str]] = None,
+        extra_submissions: Optional[List[ClientSubmission]] = None,
+        retry_after_blame: bool = True,
+    ) -> RoundReport:
+        """Execute one full communication round.
+
+        ``payloads`` maps user names to the conversation payload they want to
+        send this round (users in a conversation with no payload send an
+        empty data message; users not in a conversation ignore the payload).
+        ``offline_users`` did not show up this round: if cover messages are
+        enabled and they submitted covers last round, the covers are played
+        in their place (§5.3.3).  ``extra_submissions`` lets adversarial
+        tests inject arbitrary (e.g., malformed) submissions.
+        """
+        payloads = payloads or {}
+        offline = set(offline_users or [])
+        round_number = self.next_round
+        self.next_round += 1
+
+        current_views = self.chain_keys_view(round_number)
+        next_views = (
+            self.chain_keys_view(round_number + 1) if self.config.use_cover_messages else {}
+        )
+
+        report = RoundReport(round_number=round_number)
+        per_chain: Dict[int, List[ClientSubmission]] = {chain.chain_id: [] for chain in self.chains}
+
+        for user in self.users:
+            if user.name in offline:
+                report.offline_users.append(user.name)
+                covers = self._cover_store.pop(user.name, None)
+                if covers is not None:
+                    report.used_cover_for.append(user.name)
+                    for submission in covers:
+                        per_chain[submission.chain_id].append(submission)
+                    # The cover set carried an offline notice to the partner
+                    # (§5.3.3): from the user's own point of view the
+                    # conversation is over until re-established out of band.
+                    user.end_conversation()
+                continue
+            submissions = user.build_round_submissions(
+                round_number,
+                self.num_chains,
+                current_views,
+                payload=payloads.get(user.name),
+            )
+            for submission in submissions:
+                per_chain[submission.chain_id].append(submission)
+            if self.config.use_cover_messages:
+                self._cover_store[user.name] = user.build_cover_submissions(
+                    round_number + 1, self.num_chains, next_views
+                )
+
+        for submission in extra_submissions or []:
+            if submission.chain_id in per_chain:
+                per_chain[submission.chain_id].append(submission)
+
+        report.total_submissions = sum(len(batch) for batch in per_chain.values())
+
+        for chain in self.chains:
+            submissions = per_chain[chain.chain_id]
+            _, rejected = chain.accept_submissions(round_number, submissions)
+            report.rejected_senders.extend(rejected)
+            result = chain.run_round(round_number, retry_after_blame=retry_after_blame)
+            report.chain_results[chain.chain_id] = result
+            report.rejected_senders.extend(
+                sender for sender in result.rejected_senders if sender not in report.rejected_senders
+            )
+            if result.delivered:
+                report.dropped_unknown_recipients += self.mailboxes.deliver_batch(
+                    round_number, result.mailbox_messages
+                )
+
+        for user in self.users:
+            if user.name in offline:
+                continue
+            inbox = self.mailboxes.get(round_number, user.public_bytes)
+            report.mailbox_counts[user.name] = len(inbox)
+            report.delivered[user.name] = user.decrypt_mailbox(round_number, inbox, self.num_chains)
+        return report

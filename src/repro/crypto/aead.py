@@ -1,0 +1,122 @@
+"""Authenticated encryption: ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+The paper abstracts this as ``AEnc(s, nonce, m)`` / ``ADec(s, nonce, c)``
+(§3.1) with two properties that XRD relies on: a ciphertext that
+authenticates under a key cannot be produced without that key, and the same
+ciphertext does not authenticate under two different keys (except with
+negligible probability).  The encrypt-then-MAC style construction here has
+both properties.
+
+``ADec`` follows the paper's convention of returning a ``(ok, plaintext)``
+pair instead of raising, because the mix servers must treat authentication
+failure as a signal to start the blame protocol rather than as an exception.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.constants import AEAD_NONCE_SIZE, AEAD_TAG_SIZE
+from repro.crypto.chacha20 import chacha20_block, chacha20_encrypt
+from repro.crypto.poly1305 import poly1305_mac, poly1305_verify
+from repro.errors import CryptoError
+
+__all__ = ["AuthenticatedCiphertext", "aenc", "adec", "ciphertext_overhead"]
+
+
+@dataclass(frozen=True)
+class AuthenticatedCiphertext:
+    """A ciphertext together with its Poly1305 tag."""
+
+    ciphertext: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise as ``ciphertext || tag``."""
+        return self.ciphertext + self.tag
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AuthenticatedCiphertext":
+        """Parse ``ciphertext || tag``; the tag is the trailing 16 bytes."""
+        if len(data) < AEAD_TAG_SIZE:
+            raise CryptoError("authenticated ciphertext too short")
+        return cls(ciphertext=data[:-AEAD_TAG_SIZE], tag=data[-AEAD_TAG_SIZE:])
+
+    def __len__(self) -> int:
+        return len(self.ciphertext) + len(self.tag)
+
+
+def _poly1305_key(key: bytes, nonce: bytes) -> bytes:
+    return chacha20_block(key, 0, nonce)[:32]
+
+
+def _normalise_nonce(nonce) -> bytes:
+    """Accept either a 12-byte nonce or a round number and normalise it."""
+    if isinstance(nonce, int):
+        if nonce < 0:
+            raise CryptoError("round number nonce must be non-negative")
+        return nonce.to_bytes(AEAD_NONCE_SIZE, "big")
+    if isinstance(nonce, (bytes, bytearray)):
+        if len(nonce) != AEAD_NONCE_SIZE:
+            raise CryptoError(f"nonce must be {AEAD_NONCE_SIZE} bytes")
+        return bytes(nonce)
+    raise CryptoError("nonce must be an int round number or 12 bytes")
+
+
+def _mac_data(aad: bytes, ciphertext: bytes) -> bytes:
+    def pad16(data: bytes) -> bytes:
+        remainder = len(data) % 16
+        return data + (b"\x00" * (16 - remainder) if remainder else b"")
+
+    return (
+        pad16(aad)
+        + pad16(ciphertext)
+        + struct.pack("<Q", len(aad))
+        + struct.pack("<Q", len(ciphertext))
+    )
+
+
+def aenc(key: bytes, nonce, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """``AEnc(s, nonce, m)``: encrypt and authenticate ``plaintext``.
+
+    ``nonce`` is typically the XRD round number; ``aad`` carries any
+    additional data bound to the ciphertext (e.g., a protocol label).
+    Returns ``ciphertext || tag``.
+    """
+    if len(key) != 32:
+        raise CryptoError("AEAD key must be 32 bytes")
+    nonce_bytes = _normalise_nonce(nonce)
+    ciphertext = chacha20_encrypt(key, nonce_bytes, plaintext, initial_counter=1)
+    otk = _poly1305_key(key, nonce_bytes)
+    tag = poly1305_mac(_mac_data(aad, ciphertext), otk)
+    return ciphertext + tag
+
+
+def adec(key: bytes, nonce, data: bytes, aad: bytes = b"") -> Tuple[bool, Optional[bytes]]:
+    """``ADec(s, nonce, c)``: verify and decrypt ``ciphertext || tag``.
+
+    Returns ``(True, plaintext)`` on success and ``(False, None)`` when the
+    key is wrong, the ciphertext was tampered with, or the encoding is
+    malformed — mirroring the paper's ``(b, m)`` return convention.
+    """
+    if len(key) != 32:
+        raise CryptoError("AEAD key must be 32 bytes")
+    try:
+        nonce_bytes = _normalise_nonce(nonce)
+    except CryptoError:
+        return False, None
+    if len(data) < AEAD_TAG_SIZE:
+        return False, None
+    ciphertext, tag = data[:-AEAD_TAG_SIZE], data[-AEAD_TAG_SIZE:]
+    otk = _poly1305_key(key, nonce_bytes)
+    if not poly1305_verify(_mac_data(aad, ciphertext), otk, tag):
+        return False, None
+    plaintext = chacha20_encrypt(key, nonce_bytes, ciphertext, initial_counter=1)
+    return True, plaintext
+
+
+def ciphertext_overhead(layers: int = 1) -> int:
+    """Bytes of overhead added by ``layers`` nested authenticated encryptions."""
+    return layers * AEAD_TAG_SIZE

@@ -1,0 +1,88 @@
+"""ChaCha20 stream cipher (RFC 8439) implemented from scratch.
+
+The paper's prototype uses NaCl secretbox for authenticated encryption, whose
+modern IETF equivalent is ChaCha20-Poly1305.  This module provides the keyed
+permutation and block/stream functions; :mod:`repro.crypto.poly1305` and
+:mod:`repro.crypto.aead` build the AEAD construction on top.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.errors import CryptoError
+
+_MASK32 = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+KEY_SIZE = 32
+NONCE_SIZE = 12
+BLOCK_SIZE = 64
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state: List[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """Return one 64-byte keystream block (RFC 8439 §2.3)."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError("ChaCha20 nonce must be 12 bytes")
+    if not 0 <= counter < 2**32:
+        raise CryptoError("ChaCha20 block counter out of range")
+    state = list(_CONSTANTS)
+    state.extend(struct.unpack("<8L", key))
+    state.append(counter)
+    state.extend(struct.unpack("<3L", nonce))
+    working = list(state)
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = [(working[i] + state[i]) & _MASK32 for i in range(16)]
+    return struct.pack("<16L", *output)
+
+
+def chacha20_keystream(key: bytes, nonce: bytes, length: int, initial_counter: int = 0) -> bytes:
+    """Return ``length`` bytes of keystream starting at ``initial_counter``."""
+    blocks = []
+    produced = 0
+    counter = initial_counter
+    while produced < length:
+        blocks.append(chacha20_block(key, counter, nonce))
+        produced += BLOCK_SIZE
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, initial_counter: int = 1) -> bytes:
+    """Encrypt (or decrypt) ``plaintext`` with the ChaCha20 stream cipher.
+
+    The default initial counter of 1 matches the AEAD construction, which
+    reserves counter 0 for the Poly1305 one-time key.
+    """
+    keystream = chacha20_keystream(key, nonce, len(plaintext), initial_counter)
+    return bytes(p ^ k for p, k in zip(plaintext, keystream))
+
+
+chacha20_decrypt = chacha20_encrypt

@@ -1,0 +1,143 @@
+"""Modular-arithmetic helpers shared by the group implementations.
+
+The functions here are deliberately small and dependency-free: modular
+inverse, modular square roots for ``p ≡ 5 (mod 8)`` (the Ed25519 prime),
+Miller-Rabin primality testing, and deterministic safe-prime search used by
+the test-oriented :class:`repro.crypto.group.ModPGroup`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+from repro.errors import CryptoError
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+)
+
+
+def inverse_mod(value: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises :class:`CryptoError` if the inverse does not exist.
+    """
+    if modulus <= 0:
+        raise CryptoError("modulus must be positive")
+    value %= modulus
+    if value == 0:
+        raise CryptoError("zero has no multiplicative inverse")
+    try:
+        return pow(value, -1, modulus)
+    except ValueError as exc:  # pragma: no cover - only for composite moduli
+        raise CryptoError(f"no inverse for {value} mod {modulus}") from exc
+
+
+def sqrt_mod_p58(value: int, prime: int) -> int:
+    """Return a square root of ``value`` modulo a prime ``p ≡ 5 (mod 8)``.
+
+    This is the standard Ed25519 decompression square root: compute
+    ``r = value ** ((p + 3) / 8)``; if ``r**2 == -value`` then multiply by
+    ``sqrt(-1) = 2 ** ((p - 1) / 4)``.  Raises :class:`CryptoError` when
+    ``value`` is not a quadratic residue.
+    """
+    if prime % 8 != 5:
+        raise CryptoError("sqrt_mod_p58 requires p ≡ 5 (mod 8)")
+    value %= prime
+    root = pow(value, (prime + 3) // 8, prime)
+    if (root * root - value) % prime == 0:
+        return root
+    sqrt_minus_one = pow(2, (prime - 1) // 4, prime)
+    root = (root * sqrt_minus_one) % prime
+    if (root * root - value) % prime == 0:
+        return root
+    raise CryptoError("value is not a quadratic residue")
+
+
+def is_probable_prime(candidate: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with deterministic, hash-derived bases.
+
+    The bases are derived from the candidate itself so the test is
+    reproducible across runs while still exercising ``rounds`` independent
+    witnesses.
+    """
+    if candidate < 2:
+        return False
+    for small in _SMALL_PRIMES:
+        if candidate == small:
+            return True
+        if candidate % small == 0:
+            return False
+    # Write candidate - 1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for i in range(rounds):
+        seed = hashlib.sha256(f"mr|{candidate}|{i}".encode()).digest()
+        base = 2 + int.from_bytes(seed, "big") % (candidate - 3)
+        x = pow(base, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def find_safe_prime(bits: int, seed: str = "xrd-safe-prime") -> int:
+    """Deterministically find a safe prime ``p = 2q + 1`` with ``bits`` bits.
+
+    Used only by the test-oriented :class:`~repro.crypto.group.ModPGroup`;
+    the searches are seeded so every run of the test suite uses the same
+    parameters.  ``bits`` larger than ~192 becomes slow in pure Python and is
+    rejected.
+    """
+    if bits < 8:
+        raise CryptoError("safe prime must have at least 8 bits")
+    if bits > 192:
+        raise CryptoError("safe-prime search above 192 bits is too slow; use Ed25519Group")
+    counter = 0
+    while True:
+        material = hashlib.sha256(f"{seed}|{bits}|{counter}".encode()).digest()
+        q = int.from_bytes(material, "big") % (1 << (bits - 1))
+        q |= (1 << (bits - 2)) | 1  # force top bit (of q) and oddness
+        counter += 1
+        if not is_probable_prime(q, rounds=16):
+            continue
+        p = 2 * q + 1
+        if is_probable_prime(p, rounds=16):
+            return p
+
+
+def find_generator_of_prime_subgroup(prime: int) -> int:
+    """Return a generator of the order-``q`` subgroup of ``Z_p*`` for a safe prime.
+
+    For a safe prime ``p = 2q + 1`` the quadratic residues form the subgroup
+    of prime order ``q``; squaring any element other than ``±1`` lands in it.
+    """
+    q = (prime - 1) // 2
+    candidate = 2
+    while True:
+        generator = pow(candidate, 2, prime)
+        if generator not in (0, 1, prime - 1) and pow(generator, q, prime) == 1:
+            return generator
+        candidate += 1
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Encode a non-negative integer as fixed-length big-endian bytes."""
+    return int(value).to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode big-endian bytes into a non-negative integer."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,380 @@
+"""Prime-order groups used for all Diffie-Hellman operations in XRD.
+
+The paper assumes "a group of prime order p with a generator g in which
+discrete log is hard and the decisional Diffie-Hellman assumption holds"
+(§3.1).  Two implementations are provided behind one interface:
+
+* :class:`Ed25519Group` — the edwards25519 curve (RFC 8032 parameters) in
+  pure Python using extended twisted-Edwards coordinates.  All protocol code
+  uses this group by default; its prime-order subgroup has the standard
+  ~2^252 order.
+* :class:`ModPGroup` — the quadratic-residue subgroup of ``Z_p*`` for a
+  deterministically generated safe prime.  It is far too small to be secure
+  but is convenient for fast property-based tests of group-generic code.
+
+Group elements are represented by :class:`Point` (for the curve) or plain
+integers (for the modular group); all operations go through the group object
+so protocol code stays agnostic of the representation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.crypto import field
+from repro.errors import ConfigurationError, DecodingError
+
+__all__ = ["Point", "Ed25519Group", "ModPGroup", "default_group"]
+
+# --- edwards25519 parameters (RFC 8032) -------------------------------------
+
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * field.inverse_mod(121666, _P)) % _P
+_BASE_Y = (4 * field.inverse_mod(5, _P)) % _P
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on edwards25519 in extended homogeneous coordinates.
+
+    The coordinates satisfy ``x = X/Z``, ``y = Y/Z`` and ``T = XY/Z``.
+    Instances are immutable; equality compares the underlying affine point.
+    """
+
+    x: int
+    y: int
+    z: int
+    t: int
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        if (self.x * other.z - other.x * self.z) % _P != 0:
+            return False
+        return (self.y * other.z - other.y * self.z) % _P == 0
+
+    def __hash__(self) -> int:
+        return hash(self.affine())
+
+    def affine(self) -> tuple:
+        """Return the affine ``(x, y)`` coordinates of this point."""
+        z_inv = field.inverse_mod(self.z, _P)
+        return ((self.x * z_inv) % _P, (self.y * z_inv) % _P)
+
+    def is_identity(self) -> bool:
+        """Return ``True`` when this point is the group identity (0, 1)."""
+        return self.x % _P == 0 and (self.y - self.z) % _P == 0
+
+
+def _point_from_affine(x: int, y: int) -> Point:
+    return Point(x % _P, y % _P, 1, (x * y) % _P)
+
+
+_IDENTITY = Point(0, 1, 1, 0)
+
+
+def _edwards_add(p: Point, q: Point) -> Point:
+    """Complete point addition (add-2008-hwcd-3 for a = -1)."""
+    a = ((p.y - p.x) * (q.y - q.x)) % _P
+    b = ((p.y + p.x) * (q.y + q.x)) % _P
+    c = (p.t * 2 * _D * q.t) % _P
+    d = (p.z * 2 * q.z) % _P
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return Point((e * f) % _P, (g * h) % _P, (f * g) % _P, (e * h) % _P)
+
+
+def _edwards_double(p: Point) -> Point:
+    """Point doubling (dbl-2008-hwcd for a = -1)."""
+    a = (p.x * p.x) % _P
+    b = (p.y * p.y) % _P
+    c = (2 * p.z * p.z) % _P
+    h = a + b
+    e = h - ((p.x + p.y) * (p.x + p.y)) % _P
+    g = a - b
+    f = c + g
+    return Point((e * f) % _P, (g * h) % _P, (f * g) % _P, (e * h) % _P)
+
+
+def _recover_x(y: int, sign: int) -> int:
+    """Recover the x coordinate from y and the sign bit (RFC 8032 §5.1.3)."""
+    y2 = (y * y) % _P
+    u = (y2 - 1) % _P
+    v = (_D * y2 + 1) % _P
+    x2 = (u * field.inverse_mod(v, _P)) % _P
+    if x2 == 0:
+        if sign:
+            raise DecodingError("invalid point encoding: x would be zero with sign bit set")
+        return 0
+    x = field.sqrt_mod_p58(x2, _P)
+    if x & 1 != sign:
+        x = _P - x
+    return x
+
+
+_BASE_POINT = _point_from_affine(_recover_x(_BASE_Y, 0), _BASE_Y)
+
+
+class Ed25519Group:
+    """The prime-order subgroup of edwards25519 used for all XRD DH operations."""
+
+    #: Size of an encoded element in bytes.
+    element_size = 32
+    #: Size of an encoded scalar in bytes.
+    scalar_size = 32
+
+    def __init__(self) -> None:
+        self.order = _L
+        self.prime = _P
+
+    # -- scalars -------------------------------------------------------------
+
+    def random_scalar(self, rng: Optional[object] = None) -> int:
+        """Sample a uniformly random non-zero scalar.
+
+        ``rng`` may be a :class:`random.Random`-like object for deterministic
+        tests; by default the OS CSPRNG is used.
+        """
+        while True:
+            if rng is None:
+                value = secrets.randbelow(self.order)
+            else:
+                value = rng.randrange(self.order)
+            if value != 0:
+                return value
+
+    def scalar_from_bytes(self, data: bytes) -> int:
+        """Reduce arbitrary bytes into a scalar (used by Fiat-Shamir hashing)."""
+        return int.from_bytes(hashlib.sha512(data).digest(), "little") % self.order
+
+    def encode_scalar(self, scalar: int) -> bytes:
+        """Encode a scalar as 32 little-endian bytes."""
+        return (scalar % self.order).to_bytes(self.scalar_size, "little")
+
+    def decode_scalar(self, data: bytes) -> int:
+        """Decode a 32-byte little-endian scalar."""
+        if len(data) != self.scalar_size:
+            raise DecodingError(f"scalar encoding must be {self.scalar_size} bytes")
+        return int.from_bytes(data, "little") % self.order
+
+    # -- elements ------------------------------------------------------------
+
+    def identity(self) -> Point:
+        """Return the group identity element."""
+        return _IDENTITY
+
+    def base(self) -> Point:
+        """Return the standard base point of the prime-order subgroup."""
+        return _BASE_POINT
+
+    def add(self, left: Point, right: Point) -> Point:
+        """Return the group operation (point addition) of two elements."""
+        return _edwards_add(left, right)
+
+    def neg(self, point: Point) -> Point:
+        """Return the inverse element of ``point``."""
+        return Point((-point.x) % _P, point.y, point.z, (-point.t) % _P)
+
+    def sub(self, left: Point, right: Point) -> Point:
+        """Return ``left - right`` (the "division" used by the blame analysis)."""
+        return self.add(left, self.neg(right))
+
+    def sum(self, points: Iterable[Point]) -> Point:
+        """Return the aggregate (sum) of the points, used by AHS verification."""
+        total = _IDENTITY
+        for point in points:
+            total = _edwards_add(total, point)
+        return total
+
+    def scalar_mult(self, point: Point, scalar: int) -> Point:
+        """Return ``scalar * point`` using a simple double-and-add ladder."""
+        scalar %= self.order
+        if scalar == 0 or point.is_identity():
+            return _IDENTITY
+        result = _IDENTITY
+        addend = point
+        while scalar:
+            if scalar & 1:
+                result = _edwards_add(result, addend)
+            addend = _edwards_double(addend)
+            scalar >>= 1
+        return result
+
+    def base_mult(self, scalar: int) -> Point:
+        """Return ``scalar * B`` for the standard base point."""
+        return self.scalar_mult(_BASE_POINT, scalar)
+
+    def exp(self, point: Point, scalar: int) -> Point:
+        """Alias of :meth:`scalar_mult` using the paper's multiplicative notation."""
+        return self.scalar_mult(point, scalar)
+
+    def diffie_hellman(self, public: Point, secret: int) -> Point:
+        """Return the Diffie-Hellman shared element ``DH(public, secret)``."""
+        return self.scalar_mult(public, secret)
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, point: Point) -> bytes:
+        """Encode a point in the standard 32-byte compressed form."""
+        x, y = point.affine()
+        data = bytearray(y.to_bytes(32, "little"))
+        if x & 1:
+            data[31] |= 0x80
+        return bytes(data)
+
+    def decode(self, data: bytes) -> Point:
+        """Decode a 32-byte compressed point.
+
+        Raises :class:`DecodingError` for malformed encodings.  The caller is
+        responsible for rejecting points outside the prime-order subgroup
+        where that matters (the protocol only ever transmits multiples of the
+        base point, and tests verify subgroup membership explicitly).
+        """
+        if len(data) != self.element_size:
+            raise DecodingError(f"element encoding must be {self.element_size} bytes")
+        sign = data[31] >> 7
+        y = int.from_bytes(bytes(data[:31]) + bytes([data[31] & 0x7F]), "little")
+        if y >= _P:
+            raise DecodingError("point y coordinate out of range")
+        x = _recover_x(y, sign)
+        return _point_from_affine(x, y)
+
+    def is_in_prime_subgroup(self, point: Point) -> bool:
+        """Return ``True`` when ``point`` lies in the prime-order subgroup."""
+        return self.scalar_mult(point, self.order).is_identity()
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        """Hash a transcript into a scalar (Fiat-Shamir challenge derivation)."""
+        hasher = hashlib.sha512()
+        for part in parts:
+            hasher.update(len(part).to_bytes(8, "big"))
+            hasher.update(part)
+        return int.from_bytes(hasher.digest(), "little") % self.order
+
+
+class ModPGroup:
+    """Quadratic-residue subgroup of ``Z_p*`` for a deterministically found safe prime.
+
+    Elements are plain integers in ``[1, p-1]``.  This group is *not* secure
+    (the primes are tiny); it exists so that property-based tests of
+    group-generic protocol code can run orders of magnitude faster than with
+    the curve.  The interface mirrors :class:`Ed25519Group`.
+    """
+
+    def __init__(self, bits: int = 96, seed: str = "xrd-modp") -> None:
+        self.prime = field.find_safe_prime(bits, seed=seed)
+        self.order = (self.prime - 1) // 2
+        self.generator = field.find_generator_of_prime_subgroup(self.prime)
+        # Encode elements in the same 32-byte width as the curve group so the
+        # fixed-size wire formats are identical regardless of the group used.
+        self.element_size = 32
+        self.scalar_size = 32
+        if (self.prime.bit_length() + 7) // 8 > self.element_size:
+            raise ConfigurationError("ModPGroup primes above 256 bits are not supported")
+
+    # -- scalars -------------------------------------------------------------
+
+    def random_scalar(self, rng: Optional[object] = None) -> int:
+        while True:
+            if rng is None:
+                value = secrets.randbelow(self.order)
+            else:
+                value = rng.randrange(self.order)
+            if value != 0:
+                return value
+
+    def encode_scalar(self, scalar: int) -> bytes:
+        return (scalar % self.order).to_bytes(self.scalar_size, "big")
+
+    def decode_scalar(self, data: bytes) -> int:
+        return int.from_bytes(data, "big") % self.order
+
+    # -- elements ------------------------------------------------------------
+
+    def identity(self) -> int:
+        return 1
+
+    def base(self) -> int:
+        return self.generator
+
+    def add(self, left: int, right: int) -> int:
+        return (left * right) % self.prime
+
+    def neg(self, element: int) -> int:
+        return field.inverse_mod(element, self.prime)
+
+    def sub(self, left: int, right: int) -> int:
+        return (left * field.inverse_mod(right, self.prime)) % self.prime
+
+    def sum(self, elements: Iterable[int]) -> int:
+        total = 1
+        for element in elements:
+            total = (total * element) % self.prime
+        return total
+
+    def scalar_mult(self, element: int, scalar: int) -> int:
+        return pow(element, scalar % self.order, self.prime)
+
+    def base_mult(self, scalar: int) -> int:
+        return pow(self.generator, scalar % self.order, self.prime)
+
+    def exp(self, element: int, scalar: int) -> int:
+        return self.scalar_mult(element, scalar)
+
+    def diffie_hellman(self, public: int, secret: int) -> int:
+        return self.scalar_mult(public, secret)
+
+    def encode(self, element: int) -> bytes:
+        return int(element).to_bytes(self.element_size, "big")
+
+    def decode(self, data: bytes) -> int:
+        if len(data) != self.element_size:
+            raise DecodingError(f"element encoding must be {self.element_size} bytes")
+        value = int.from_bytes(data, "big")
+        if not 1 <= value < self.prime:
+            raise DecodingError("element out of range")
+        return value
+
+    def is_in_prime_subgroup(self, element: int) -> bool:
+        return pow(element, self.order, self.prime) == 1
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        hasher = hashlib.sha512()
+        for part in parts:
+            hasher.update(len(part).to_bytes(8, "big"))
+            hasher.update(part)
+        return int.from_bytes(hasher.digest(), "big") % self.order
+
+
+_DEFAULT_GROUP: Optional[Ed25519Group] = None
+
+
+def default_group() -> Ed25519Group:
+    """Return the process-wide default group (edwards25519)."""
+    global _DEFAULT_GROUP
+    if _DEFAULT_GROUP is None:
+        _DEFAULT_GROUP = Ed25519Group()
+    return _DEFAULT_GROUP
+
+
+def aggregate_public_keys(group, public_keys: Sequence) -> object:
+    """Return the aggregate (sum/product) of a sequence of public keys.
+
+    Used for the AHS inner envelope, which is encrypted under the aggregate
+    inner public key ``Σ ipk_i`` so that decryption requires every server's
+    per-round inner secret.
+    """
+    return group.sum(public_keys)
+
+
+def multi_scalar_mult(group, points: Sequence, scalars: Sequence[int]) -> List:
+    """Return ``[s_i * P_i]`` element-wise; a convenience for batch blinding."""
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have the same length")
+    return [group.scalar_mult(point, scalar) for point, scalar in zip(points, scalars)]

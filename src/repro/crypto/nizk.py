@@ -1,0 +1,152 @@
+"""Non-interactive zero-knowledge proofs used by XRD.
+
+Two proof systems appear in the paper:
+
+* *Knowledge of discrete log* (Schnorr, made non-interactive with
+  Fiat-Shamir) — users prove they know the exponent of their outer
+  Diffie-Hellman key (§6.2 step 2), and servers prove knowledge of their
+  blinding/mixing keys at setup (§6.1).
+* *Discrete-log equality* (Chaum-Pedersen) — servers prove that the
+  aggregate of the blinded keys they output equals the aggregate of their
+  inputs raised to their blinding key (§6.3 step 3), and the blame protocol
+  uses the same proof to reveal per-message decryption keys verifiably
+  (§6.4).
+
+Both are standard sigma protocols; the Fiat-Shamir challenge binds the
+statement, the prover-supplied context (round number, chain id, server
+index), and a domain-separation label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import NIZK_LABEL_DLEQ, NIZK_LABEL_DLOG
+from repro.errors import ProofError
+
+__all__ = [
+    "SchnorrProof",
+    "DleqProof",
+    "prove_dlog",
+    "verify_dlog",
+    "prove_dleq",
+    "verify_dleq",
+]
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """Proof of knowledge of ``x`` such that ``public = x · base``."""
+
+    commitment: bytes
+    response: int
+
+    def to_bytes(self, group) -> bytes:
+        return self.commitment + group.encode_scalar(self.response)
+
+
+@dataclass(frozen=True)
+class DleqProof:
+    """Proof that ``log_base1(public1) = log_base2(public2)``."""
+
+    commitment1: bytes
+    commitment2: bytes
+    response: int
+
+    def to_bytes(self, group) -> bytes:
+        return self.commitment1 + self.commitment2 + group.encode_scalar(self.response)
+
+
+def _dlog_challenge(group, base, public, commitment, context: bytes) -> int:
+    return group.hash_to_scalar(
+        NIZK_LABEL_DLOG,
+        group.encode(base),
+        group.encode(public),
+        commitment,
+        context,
+    )
+
+
+def prove_dlog(group, base, secret: int, context: bytes = b"", rng=None) -> SchnorrProof:
+    """Prove knowledge of ``secret`` such that ``secret · base`` is known.
+
+    The statement (``base``, ``public = secret · base``) and ``context`` are
+    bound into the Fiat-Shamir challenge, so a proof cannot be replayed for a
+    different statement or round.
+    """
+    public = group.scalar_mult(base, secret)
+    nonce = group.random_scalar(rng)
+    commitment = group.encode(group.scalar_mult(base, nonce))
+    challenge = _dlog_challenge(group, base, public, commitment, context)
+    response = (nonce + challenge * secret) % group.order
+    return SchnorrProof(commitment=commitment, response=response)
+
+
+def verify_dlog(group, base, public, proof: SchnorrProof, context: bytes = b"") -> bool:
+    """Verify a :class:`SchnorrProof` for the statement ``public = x · base``."""
+    try:
+        commitment_point = group.decode(proof.commitment)
+    except Exception:
+        return False
+    challenge = _dlog_challenge(group, base, public, proof.commitment, context)
+    left = group.scalar_mult(base, proof.response)
+    right = group.add(commitment_point, group.scalar_mult(public, challenge))
+    return left == right
+
+
+def _dleq_challenge(group, base1, public1, base2, public2, commitment1, commitment2, context: bytes) -> int:
+    return group.hash_to_scalar(
+        NIZK_LABEL_DLEQ,
+        group.encode(base1),
+        group.encode(public1),
+        group.encode(base2),
+        group.encode(public2),
+        commitment1,
+        commitment2,
+        context,
+    )
+
+
+def prove_dleq(group, base1, base2, secret: int, context: bytes = b"", rng=None) -> DleqProof:
+    """Prove that ``log_base1(secret·base1) = log_base2(secret·base2) = secret``."""
+    public1 = group.scalar_mult(base1, secret)
+    public2 = group.scalar_mult(base2, secret)
+    nonce = group.random_scalar(rng)
+    commitment1 = group.encode(group.scalar_mult(base1, nonce))
+    commitment2 = group.encode(group.scalar_mult(base2, nonce))
+    challenge = _dleq_challenge(
+        group, base1, public1, base2, public2, commitment1, commitment2, context
+    )
+    response = (nonce + challenge * secret) % group.order
+    return DleqProof(commitment1=commitment1, commitment2=commitment2, response=response)
+
+
+def verify_dleq(group, base1, public1, base2, public2, proof: DleqProof, context: bytes = b"") -> bool:
+    """Verify a :class:`DleqProof` for ``log_base1(public1) = log_base2(public2)``."""
+    try:
+        commitment1_point = group.decode(proof.commitment1)
+        commitment2_point = group.decode(proof.commitment2)
+    except Exception:
+        return False
+    challenge = _dleq_challenge(
+        group, base1, public1, base2, public2, proof.commitment1, proof.commitment2, context
+    )
+    left1 = group.scalar_mult(base1, proof.response)
+    right1 = group.add(commitment1_point, group.scalar_mult(public1, challenge))
+    if left1 != right1:
+        return False
+    left2 = group.scalar_mult(base2, proof.response)
+    right2 = group.add(commitment2_point, group.scalar_mult(public2, challenge))
+    return left2 == right2
+
+
+def require_valid_dlog(group, base, public, proof: SchnorrProof, context: bytes = b"") -> None:
+    """Raise :class:`ProofError` unless the discrete-log proof verifies."""
+    if not verify_dlog(group, base, public, proof, context):
+        raise ProofError("knowledge-of-discrete-log proof failed to verify")
+
+
+def require_valid_dleq(group, base1, public1, base2, public2, proof: DleqProof, context: bytes = b"") -> None:
+    """Raise :class:`ProofError` unless the discrete-log-equality proof verifies."""
+    if not verify_dleq(group, base1, public1, base2, public2, proof, context):
+        raise ProofError("discrete-log-equality proof failed to verify")

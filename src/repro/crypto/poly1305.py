@@ -1,0 +1,37 @@
+"""Poly1305 one-time authenticator (RFC 8439 §2.5) implemented from scratch."""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+TAG_SIZE = 16
+KEY_SIZE = 32
+
+_P = (1 << 130) - 5
+_R_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(message: bytes, key: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under a one-time ``key``."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError("Poly1305 key must be 32 bytes")
+    r = int.from_bytes(key[:16], "little") & _R_CLAMP
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        block = message[offset:offset + 16]
+        value = int.from_bytes(block + b"\x01", "little")
+        accumulator = ((accumulator + value) * r) % _P
+    tag = (accumulator + s) % (1 << 128)
+    return tag.to_bytes(16, "little")
+
+
+def poly1305_verify(message: bytes, key: bytes, tag: bytes) -> bool:
+    """Constant-time-ish comparison of a computed tag against ``tag``."""
+    if len(tag) != TAG_SIZE:
+        return False
+    expected = poly1305_mac(message, key)
+    result = 0
+    for a, b in zip(expected, tag):
+        result |= a ^ b
+    return result == 0

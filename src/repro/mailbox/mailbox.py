@@ -1,0 +1,118 @@
+"""Mailboxes and mailbox servers (§5.1).
+
+Every user owns exactly one mailbox, publicly identified by her encoded
+public key.  Mailbox servers expose only *put* and *get*; they are trusted
+for availability, not privacy — all content they hold is encrypted for the
+mailbox owner and their access pattern is uniform (every user fetches her
+whole mailbox every round).  A deployment shards mailboxes across several
+mailbox servers by hashing the owner's public key, exactly like e-mail
+providers sharding by address.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import MailboxError
+from repro.mixnet.messages import MailboxMessage
+
+__all__ = ["Mailbox", "MailboxServer", "MailboxHub"]
+
+
+@dataclass
+class Mailbox:
+    """A single user's mailbox: per-round lists of sealed messages."""
+
+    owner: bytes
+    _rounds: Dict[int, List[MailboxMessage]] = field(default_factory=dict)
+
+    def put(self, round_number: int, message: MailboxMessage) -> None:
+        if message.recipient != self.owner:
+            raise MailboxError("message recipient does not match mailbox owner")
+        self._rounds.setdefault(round_number, []).append(message)
+
+    def get(self, round_number: int) -> List[MailboxMessage]:
+        """Return (without removing) every message delivered in ``round_number``."""
+        return list(self._rounds.get(round_number, []))
+
+    def drain(self, round_number: int) -> List[MailboxMessage]:
+        """Return and delete the round's messages."""
+        return self._rounds.pop(round_number, [])
+
+    def message_count(self, round_number: int) -> int:
+        return len(self._rounds.get(round_number, []))
+
+
+class MailboxServer:
+    """One mailbox server holding a subset of the deployment's mailboxes."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._mailboxes: Dict[bytes, Mailbox] = {}
+
+    def create_mailbox(self, owner: bytes) -> Mailbox:
+        """Create (or return the existing) mailbox for ``owner``."""
+        if owner not in self._mailboxes:
+            self._mailboxes[owner] = Mailbox(owner=owner)
+        return self._mailboxes[owner]
+
+    def put(self, round_number: int, message: MailboxMessage) -> None:
+        """Deliver one mailbox message; unknown recipients raise :class:`MailboxError`."""
+        if message.recipient not in self._mailboxes:
+            raise MailboxError("no mailbox registered for this recipient")
+        self._mailboxes[message.recipient].put(round_number, message)
+
+    def get(self, round_number: int, owner: bytes) -> List[MailboxMessage]:
+        if owner not in self._mailboxes:
+            raise MailboxError("no mailbox registered for this owner")
+        return self._mailboxes[owner].get(round_number)
+
+    def owners(self) -> List[bytes]:
+        return list(self._mailboxes)
+
+    def __contains__(self, owner: bytes) -> bool:
+        return owner in self._mailboxes
+
+
+class MailboxHub:
+    """The deployment's set of mailbox servers, sharded by recipient public key."""
+
+    def __init__(self, num_servers: int = 1) -> None:
+        if num_servers < 1:
+            raise MailboxError("a deployment needs at least one mailbox server")
+        self.servers = [MailboxServer(name=f"mailbox-{index}") for index in range(num_servers)]
+
+    def _server_for(self, owner: bytes) -> MailboxServer:
+        digest = hashlib.sha256(owner).digest()
+        return self.servers[int.from_bytes(digest[:8], "big") % len(self.servers)]
+
+    def create_mailbox(self, owner: bytes) -> Mailbox:
+        return self._server_for(owner).create_mailbox(owner)
+
+    def put(self, round_number: int, message: MailboxMessage) -> None:
+        self._server_for(message.recipient).put(round_number, message)
+
+    def deliver_batch(self, round_number: int, messages: Iterable[MailboxMessage]) -> int:
+        """Deliver a batch of messages, dropping ones addressed to unknown mailboxes.
+
+        Messages for unknown recipients can only have been produced by
+        malicious users (honest users address themselves or their partner),
+        so dropping them is safe; the count of drops is returned for
+        reporting.
+        """
+        dropped = 0
+        for message in messages:
+            try:
+                self.put(round_number, message)
+            except MailboxError:
+                dropped += 1
+        return dropped
+
+    def get(self, round_number: int, owner: bytes) -> List[MailboxMessage]:
+        return self._server_for(owner).get(round_number, owner)
+
+    def message_counts(self, round_number: int, owners: Sequence[bytes]) -> Dict[bytes, int]:
+        """Per-owner delivered-message counts — the adversary's observable in §5.3.3."""
+        return {owner: len(self.get(round_number, owner)) for owner in owners}

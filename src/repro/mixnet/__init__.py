@@ -1,0 +1,32 @@
+"""Mix-network substrate: chains, servers, the aggregate hybrid shuffle, blame.
+
+The sub-modules map directly onto the paper:
+
+* :mod:`repro.mixnet.messages` — fixed-size wire formats (§5.1, §6.2).
+* :mod:`repro.mixnet.chain` — anytrust chain formation and the chain-length
+  formula (§5.2.1).
+* :mod:`repro.mixnet.server` — the baseline decrypt-and-shuffle server
+  (Algorithm 1, honest-but-curious adversaries only).
+* :mod:`repro.mixnet.ahs` — the aggregate hybrid shuffle (§6.1–§6.3).
+* :mod:`repro.mixnet.blame` — the blame protocol (§6.4).
+"""
+
+from repro.mixnet.chain import form_chains, required_chain_length, stagger_positions
+from repro.mixnet.messages import (
+    BatchEntry,
+    ClientSubmission,
+    MailboxMessage,
+    MessageBody,
+    batch_digest,
+)
+
+__all__ = [
+    "BatchEntry",
+    "ClientSubmission",
+    "MailboxMessage",
+    "MessageBody",
+    "batch_digest",
+    "form_chains",
+    "required_chain_length",
+    "stagger_positions",
+]

@@ -1,0 +1,610 @@
+"""Aggregate hybrid shuffle (AHS) — §6 of the paper.
+
+The module implements the three phases of the protocol:
+
+1. **Key generation** (§6.1): the servers of a chain generate, in order,
+   long-term *blinding* keys ``bpk_i = bsk_i · bpk_{i-1}`` and *mixing* keys
+   ``mpk_i = msk_i · bpk_{i-1}`` (with ``bpk_0 = g``), plus per-round *inner*
+   keys ``ipk_i = isk_i · g``.  Each key comes with a NIZK of knowledge of
+   its secret.
+2. **Mixing** (§6.3): each server removes one authenticated outer layer from
+   every message, *blinds* the accompanying Diffie-Hellman key with its
+   blinding secret, shuffles both with the same permutation, and publishes a
+   Chaum-Pedersen proof that the aggregate of its output keys equals the
+   aggregate of its input keys raised to its blinding key.  Any
+   authentication failure halts mixing and triggers the blame protocol.
+3. **Inner-key reveal**: once every proof has verified, the servers reveal
+   their per-round inner secrets and the last server opens the inner
+   envelopes, recovering the mailbox messages.
+
+The classes here model *honest* behaviour; adversarial servers for tests and
+experiments live in :mod:`repro.coordinator.adversary` and override the
+relevant methods.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.nizk import (
+    DleqProof,
+    SchnorrProof,
+    prove_dleq,
+    prove_dlog,
+    verify_dleq,
+    verify_dlog,
+)
+from repro.crypto.onion import InnerEnvelope, decrypt_inner, decrypt_outer_layer
+from repro.errors import MixingError, ProofError, ProtocolError
+from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage, batch_digest
+
+__all__ = [
+    "ChainPublicKeys",
+    "MemberSetupBundle",
+    "InnerKeyAnnouncement",
+    "MixStepResult",
+    "ChainMember",
+    "MixChain",
+    "ChainRoundResult",
+    "submission_context",
+    "setup_context",
+    "mixing_context",
+]
+
+
+def setup_context(chain_id: int, position: int) -> bytes:
+    """Fiat-Shamir context for the long-term key ceremony."""
+    return b"xrd/setup|" + chain_id.to_bytes(4, "big") + position.to_bytes(2, "big")
+
+
+def inner_key_context(chain_id: int, position: int, round_number: int) -> bytes:
+    """Fiat-Shamir context for per-round inner key announcements."""
+    return (
+        b"xrd/inner-key|"
+        + chain_id.to_bytes(4, "big")
+        + position.to_bytes(2, "big")
+        + round_number.to_bytes(8, "big")
+    )
+
+
+def mixing_context(chain_id: int, position: int, round_number: int) -> bytes:
+    """Fiat-Shamir context for the aggregate blinding proof of one mix step."""
+    return (
+        b"xrd/mix-step|"
+        + chain_id.to_bytes(4, "big")
+        + position.to_bytes(2, "big")
+        + round_number.to_bytes(8, "big")
+    )
+
+
+def submission_context(chain_id: int, round_number: int, sender: str) -> bytes:
+    """Fiat-Shamir context binding a client submission to (chain, round, sender)."""
+    return (
+        b"xrd/submission|"
+        + chain_id.to_bytes(4, "big")
+        + round_number.to_bytes(8, "big")
+        + sender.encode()
+    )
+
+
+def blame_context(chain_id: int, position: int, round_number: int) -> bytes:
+    """Fiat-Shamir context for blame-protocol reveals."""
+    return (
+        b"xrd/blame|"
+        + chain_id.to_bytes(4, "big")
+        + position.to_bytes(2, "big")
+        + round_number.to_bytes(8, "big")
+    )
+
+
+@dataclass
+class ChainPublicKeys:
+    """Public key material of a chain, distributed to every user and server."""
+
+    chain_id: int
+    base_points: List[object]
+    blinding_publics: List[object]
+    mixing_publics: List[object]
+
+    @property
+    def length(self) -> int:
+        return len(self.mixing_publics)
+
+
+@dataclass(frozen=True)
+class MemberSetupBundle:
+    """One server's contribution to the key ceremony, with proofs of knowledge."""
+
+    position: int
+    blinding_public: object
+    mixing_public: object
+    blinding_proof: SchnorrProof
+    mixing_proof: SchnorrProof
+
+
+@dataclass(frozen=True)
+class InnerKeyAnnouncement:
+    """One server's per-round inner public key and proof of knowledge."""
+
+    position: int
+    inner_public: object
+    proof: SchnorrProof
+
+
+@dataclass
+class MixStepResult:
+    """Output of one server's decrypt–blind–shuffle step."""
+
+    position: int
+    entries: List[BatchEntry]
+    proof: Optional[DleqProof]
+    failed_indices: List[int] = field(default_factory=list)
+
+    @property
+    def halted(self) -> bool:
+        return bool(self.failed_indices)
+
+
+@dataclass
+class _RoundRecord:
+    """Private per-round state a member keeps for verification and blame."""
+
+    inputs: List[BatchEntry] = field(default_factory=list)
+    outputs: List[BatchEntry] = field(default_factory=list)
+    permutation: List[int] = field(default_factory=list)
+    inner_secret: Optional[int] = None
+    inner_public: Optional[object] = None
+    failed_indices: List[int] = field(default_factory=list)
+
+
+class ChainMember:
+    """One server's state and behaviour within one chain.
+
+    A physical server participating in ``k`` chains holds ``k`` independent
+    ``ChainMember`` instances, one per chain, each with its own key material
+    and position.
+    """
+
+    def __init__(
+        self,
+        server_name: str,
+        chain_id: int,
+        position: int,
+        group,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.server_name = server_name
+        self.chain_id = chain_id
+        self.position = position
+        self.group = group
+        self._rng = rng or random.SystemRandom()
+        self.base_point = None
+        self.blinding_secret: Optional[int] = None
+        self.blinding_public = None
+        self.mixing_secret: Optional[int] = None
+        self.mixing_public = None
+        self._rounds: Dict[int, _RoundRecord] = {}
+
+    # -- key ceremony ---------------------------------------------------------
+
+    def generate_long_term_keys(self, base_point) -> MemberSetupBundle:
+        """Generate blinding and mixing keys on ``base_point`` (= ``bpk_{i-1}``)."""
+        group = self.group
+        self.base_point = base_point
+        self.blinding_secret = group.random_scalar(self._rng)
+        self.mixing_secret = group.random_scalar(self._rng)
+        self.blinding_public = group.scalar_mult(base_point, self.blinding_secret)
+        self.mixing_public = group.scalar_mult(base_point, self.mixing_secret)
+        context = setup_context(self.chain_id, self.position)
+        return MemberSetupBundle(
+            position=self.position,
+            blinding_public=self.blinding_public,
+            mixing_public=self.mixing_public,
+            blinding_proof=prove_dlog(group, base_point, self.blinding_secret, context, self._rng),
+            mixing_proof=prove_dlog(group, base_point, self.mixing_secret, context, self._rng),
+        )
+
+    # -- per-round inner keys --------------------------------------------------
+
+    def begin_round(self, round_number: int) -> InnerKeyAnnouncement:
+        """Generate this round's inner key pair and announce the public part."""
+        group = self.group
+        record = self._rounds.setdefault(round_number, _RoundRecord())
+        record.inner_secret = group.random_scalar(self._rng)
+        record.inner_public = group.base_mult(record.inner_secret)
+        context = inner_key_context(self.chain_id, self.position, round_number)
+        proof = prove_dlog(group, group.base(), record.inner_secret, context, self._rng)
+        return InnerKeyAnnouncement(position=self.position, inner_public=record.inner_public, proof=proof)
+
+    # -- mixing -----------------------------------------------------------------
+
+    def process_round(self, round_number: int, entries: Sequence[BatchEntry]) -> MixStepResult:
+        """Decrypt one layer, blind the DH keys, shuffle, and prove (§6.3 steps 1-3)."""
+        if self.mixing_secret is None or self.blinding_secret is None:
+            raise ProtocolError("chain member has not completed key setup")
+        group = self.group
+        record = self._rounds.setdefault(round_number, _RoundRecord())
+        record.inputs = list(entries)
+        processed: List[BatchEntry] = []
+        failed: List[int] = []
+        for index, entry in enumerate(entries):
+            ok, next_ciphertext = decrypt_outer_layer(
+                group, self.mixing_secret, round_number, entry.dh_public, entry.ciphertext
+            )
+            if not ok:
+                failed.append(index)
+                next_ciphertext = b""
+            blinded = group.scalar_mult(entry.dh_public, self.blinding_secret)
+            processed.append(BatchEntry(dh_public=blinded, ciphertext=next_ciphertext or b""))
+        if failed:
+            record.failed_indices = failed
+            return MixStepResult(position=self.position, entries=[], proof=None, failed_indices=failed)
+        permutation = list(range(len(processed)))
+        self._rng.shuffle(permutation)
+        outputs = [processed[source] for source in permutation]
+        record.permutation = permutation
+        record.outputs = outputs
+        proof = prove_dleq(
+            group,
+            base1=group.sum(entry.dh_public for entry in entries) if entries else group.identity(),
+            base2=self.base_point,
+            secret=self.blinding_secret,
+            context=mixing_context(self.chain_id, self.position, round_number),
+            rng=self._rng,
+        )
+        return MixStepResult(position=self.position, entries=outputs, proof=proof)
+
+    # -- inner key reveal --------------------------------------------------------
+
+    def reveal_inner_secret(self, round_number: int) -> int:
+        """Reveal this round's inner secret once mixing has been verified."""
+        record = self._rounds.get(round_number)
+        if record is None or record.inner_secret is None:
+            raise ProtocolError("no inner key was generated for this round")
+        return record.inner_secret
+
+    def delete_inner_secret(self, round_number: int) -> None:
+        """Forget the round's inner secret (executed when the blame protocol fails)."""
+        record = self._rounds.get(round_number)
+        if record is not None:
+            record.inner_secret = None
+
+    # -- blame support -------------------------------------------------------------
+
+    def output_to_input_index(self, round_number: int, output_index: int) -> int:
+        """Map an index in this member's output batch to the corresponding input index."""
+        record = self._rounds[round_number]
+        return record.permutation[output_index]
+
+    def round_record(self, round_number: int) -> _RoundRecord:
+        """Access the private round record (used by the blame protocol and tests)."""
+        return self._rounds[round_number]
+
+    def blame_reveal(self, round_number: int, output_index: int):
+        """Reveal the pre-image of one output entry with proofs (§6.4 steps 1-2)."""
+        from repro.mixnet.blame import BlameReveal  # local import to avoid a cycle
+
+        group = self.group
+        record = self._rounds[round_number]
+        input_index = record.permutation[output_index]
+        entry = record.inputs[input_index]
+        context = blame_context(self.chain_id, self.position, round_number)
+        blinding_proof = prove_dleq(
+            group, entry.dh_public, self.base_point, self.blinding_secret, context, self._rng
+        )
+        decryption_key = group.scalar_mult(entry.dh_public, self.mixing_secret)
+        key_proof = prove_dleq(
+            group, entry.dh_public, self.base_point, self.mixing_secret, context, self._rng
+        )
+        return BlameReveal(
+            position=self.position,
+            input_index=input_index,
+            dh_public=entry.dh_public,
+            ciphertext=entry.ciphertext,
+            decryption_key=decryption_key,
+            blinding_proof=blinding_proof,
+            key_proof=key_proof,
+        )
+
+    def reveal_decryption_key(self, round_number: int, input_index: int):
+        """Reveal the decryption key for one of this member's *input* entries.
+
+        Used by the accusing server in blame step 4 to demonstrate that the
+        flagged ciphertext does not authenticate under the correct key.
+        """
+        from repro.mixnet.blame import AccuserReveal  # local import to avoid a cycle
+
+        group = self.group
+        record = self._rounds[round_number]
+        entry = record.inputs[input_index]
+        context = blame_context(self.chain_id, self.position, round_number)
+        decryption_key = group.scalar_mult(entry.dh_public, self.mixing_secret)
+        key_proof = prove_dleq(
+            group, entry.dh_public, self.base_point, self.mixing_secret, context, self._rng
+        )
+        return AccuserReveal(
+            position=self.position,
+            input_index=input_index,
+            dh_public=entry.dh_public,
+            ciphertext=entry.ciphertext,
+            decryption_key=decryption_key,
+            key_proof=key_proof,
+        )
+
+
+@dataclass
+class ChainRoundResult:
+    """Outcome of one round on one chain."""
+
+    chain_id: int
+    round_number: int
+    status: str
+    mailbox_messages: List[MailboxMessage] = field(default_factory=list)
+    blame_verdict: Optional[object] = None
+    misbehaving_server: Optional[str] = None
+    rejected_senders: List[str] = field(default_factory=list)
+    invalid_inner_count: int = 0
+    input_digest: bytes = b""
+
+    STATUS_DELIVERED = "delivered"
+    STATUS_HALTED_SERVER = "halted-server-misbehaviour"
+    STATUS_HALTED_BLAME = "halted-blame"
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == self.STATUS_DELIVERED
+
+
+class MixChain:
+    """A full anytrust chain: key ceremony, round orchestration, verification.
+
+    In a real deployment every server verifies every other server's proofs
+    and the one honest server guarantees detection.  The simulation performs
+    each verification once on behalf of all members — equivalent in outcome,
+    since XRD's guarantees only require that *some* verifier is honest.
+    """
+
+    def __init__(self, chain_id: int, members: Sequence[ChainMember], group) -> None:
+        if not members:
+            raise ProtocolError("a chain needs at least one member")
+        self.chain_id = chain_id
+        self.members = list(members)
+        self.group = group
+        self.public_keys: Optional[ChainPublicKeys] = None
+        self._inner_publics: Dict[int, List[object]] = {}
+        self._aggregate_inner: Dict[int, object] = {}
+        self._submissions: Dict[int, List[ClientSubmission]] = {}
+        self._entries: Dict[int, List[BatchEntry]] = {}
+        self._history: Dict[int, List[List[BatchEntry]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    # -- setup ---------------------------------------------------------------
+
+    def setup(self) -> ChainPublicKeys:
+        """Run the ordered key ceremony of §6.1, verifying every proof."""
+        group = self.group
+        base_points = []
+        blinding_publics = []
+        mixing_publics = []
+        base = group.base()
+        for member in self.members:
+            bundle = member.generate_long_term_keys(base)
+            context = setup_context(self.chain_id, member.position)
+            if not verify_dlog(group, base, bundle.blinding_public, bundle.blinding_proof, context):
+                raise ProofError(
+                    f"server {member.server_name} failed to prove knowledge of its blinding key"
+                )
+            if not verify_dlog(group, base, bundle.mixing_public, bundle.mixing_proof, context):
+                raise ProofError(
+                    f"server {member.server_name} failed to prove knowledge of its mixing key"
+                )
+            base_points.append(base)
+            blinding_publics.append(bundle.blinding_public)
+            mixing_publics.append(bundle.mixing_public)
+            base = bundle.blinding_public
+        self.public_keys = ChainPublicKeys(
+            chain_id=self.chain_id,
+            base_points=base_points,
+            blinding_publics=blinding_publics,
+            mixing_publics=mixing_publics,
+        )
+        return self.public_keys
+
+    # -- per-round flow ---------------------------------------------------------
+
+    def begin_round(self, round_number: int):
+        """Collect and verify every member's inner key announcement; return Σ ipk."""
+        group = self.group
+        publics = []
+        for member in self.members:
+            announcement = member.begin_round(round_number)
+            context = inner_key_context(self.chain_id, member.position, round_number)
+            if not verify_dlog(group, group.base(), announcement.inner_public, announcement.proof, context):
+                raise ProofError(
+                    f"server {member.server_name} failed to prove knowledge of its inner key"
+                )
+            publics.append(announcement.inner_public)
+        self._inner_publics[round_number] = publics
+        aggregate = group.sum(publics)
+        self._aggregate_inner[round_number] = aggregate
+        return aggregate
+
+    def aggregate_inner_public(self, round_number: int):
+        """Return Σ ipk for the round (what users encrypt inner envelopes to)."""
+        if round_number not in self._aggregate_inner:
+            raise ProtocolError(f"round {round_number} has not begun on chain {self.chain_id}")
+        return self._aggregate_inner[round_number]
+
+    def accept_submissions(
+        self, round_number: int, submissions: Sequence[ClientSubmission]
+    ) -> Tuple[List[BatchEntry], List[str]]:
+        """Verify client NIZKs and build the round's input batch.
+
+        Submissions whose knowledge-of-discrete-log proof does not verify are
+        rejected immediately and their senders reported (§6.4: "the
+        misbehaviour is detected and the adversary is immediately
+        identified").
+        """
+        group = self.group
+        accepted: List[ClientSubmission] = []
+        entries: List[BatchEntry] = []
+        rejected: List[str] = []
+        for submission in submissions:
+            if submission.chain_id != self.chain_id:
+                rejected.append(submission.sender)
+                continue
+            try:
+                dh_public = group.decode(submission.dh_public)
+            except Exception:
+                rejected.append(submission.sender)
+                continue
+            context = submission_context(self.chain_id, round_number, submission.sender)
+            if not verify_dlog(group, group.base(), dh_public, submission.proof, context):
+                rejected.append(submission.sender)
+                continue
+            accepted.append(submission)
+            entries.append(BatchEntry(dh_public=dh_public, ciphertext=submission.ciphertext))
+        self._submissions[round_number] = accepted
+        self._entries[round_number] = entries
+        return entries, rejected
+
+    def submissions_for_round(self, round_number: int) -> List[ClientSubmission]:
+        """The accepted submissions (used by the blame protocol to identify users)."""
+        return self._submissions.get(round_number, [])
+
+    def history_for_round(self, round_number: int) -> List[List[BatchEntry]]:
+        """Per-position input batches observed during the round (for blame/tests)."""
+        return self._history.get(round_number, [])
+
+    def run_round(self, round_number: int, retry_after_blame: bool = True) -> ChainRoundResult:
+        """Execute the mixing phase for the round's accepted submissions.
+
+        Returns a :class:`ChainRoundResult` whose status reflects whether the
+        messages were delivered, a server was caught misbehaving (protocol
+        halts, no privacy loss), or the blame protocol ran.  When
+        ``retry_after_blame`` is set and blame convicts only *users*, their
+        submissions are removed and mixing is re-run — mirroring §6.4's
+        "those ciphertexts are removed from the set and the upstream servers
+        repeat the AHS protocol".
+        """
+        from repro.mixnet.blame import run_blame_protocol  # local import to avoid a cycle
+
+        group = self.group
+        if round_number not in self._entries:
+            raise ProtocolError("accept_submissions must run before run_round")
+        entries = list(self._entries[round_number])
+        digest = batch_digest(group, entries)
+        history = [list(entries)]
+        rejected_senders: List[str] = []
+
+        for member in self.members:
+            result = member.process_round(round_number, entries)
+            if result.halted:
+                verdict = run_blame_protocol(
+                    chain=self,
+                    round_number=round_number,
+                    accusing_position=member.position,
+                    flagged_input_indices=result.failed_indices,
+                    history=history,
+                )
+                if verdict.malicious_servers or not retry_after_blame or not verdict.malicious_users:
+                    return ChainRoundResult(
+                        chain_id=self.chain_id,
+                        round_number=round_number,
+                        status=ChainRoundResult.STATUS_HALTED_BLAME,
+                        blame_verdict=verdict,
+                        input_digest=digest,
+                    )
+                # Remove the convicted users' submissions and rerun the round.
+                rejected_senders.extend(verdict.malicious_users)
+                kept = [
+                    (submission, entry)
+                    for submission, entry in zip(
+                        self._submissions[round_number], self._entries[round_number]
+                    )
+                    if submission.sender not in set(verdict.malicious_users)
+                ]
+                self._submissions[round_number] = [pair[0] for pair in kept]
+                self._entries[round_number] = [pair[1] for pair in kept]
+                rerun = self.run_round(round_number, retry_after_blame=retry_after_blame)
+                rerun.rejected_senders = rejected_senders + rerun.rejected_senders
+                rerun.blame_verdict = verdict
+                return rerun
+            # Aggregate blinding verification performed on behalf of every
+            # other (in particular the honest) member.
+            input_aggregate = group.sum(entry.dh_public for entry in entries) if entries else group.identity()
+            output_aggregate = (
+                group.sum(entry.dh_public for entry in result.entries)
+                if result.entries
+                else group.identity()
+            )
+            context = mixing_context(self.chain_id, member.position, round_number)
+            valid = (
+                result.proof is not None
+                and len(result.entries) == len(entries)
+                and verify_dleq(
+                    group,
+                    input_aggregate,
+                    output_aggregate,
+                    member.base_point,
+                    member.blinding_public,
+                    result.proof,
+                    context,
+                )
+            )
+            if not valid:
+                return ChainRoundResult(
+                    chain_id=self.chain_id,
+                    round_number=round_number,
+                    status=ChainRoundResult.STATUS_HALTED_SERVER,
+                    misbehaving_server=member.server_name,
+                    input_digest=digest,
+                )
+            entries = result.entries
+            history.append(list(entries))
+
+        self._history[round_number] = history
+
+        # Inner-key reveal and final decryption.
+        inner_secrets: List[int] = []
+        announced = self._inner_publics.get(round_number, [])
+        for member, announced_public in zip(self.members, announced):
+            secret = member.reveal_inner_secret(round_number)
+            if group.base_mult(secret) != announced_public:
+                return ChainRoundResult(
+                    chain_id=self.chain_id,
+                    round_number=round_number,
+                    status=ChainRoundResult.STATUS_HALTED_SERVER,
+                    misbehaving_server=member.server_name,
+                    input_digest=digest,
+                )
+            inner_secrets.append(secret)
+
+        mailbox_messages: List[MailboxMessage] = []
+        invalid_inner = 0
+        for entry in entries:
+            try:
+                envelope = InnerEnvelope.from_bytes(entry.ciphertext)
+                ok, plaintext = decrypt_inner(group, inner_secrets, round_number, envelope)
+            except Exception:
+                ok, plaintext = False, None
+            if not ok or plaintext is None:
+                invalid_inner += 1
+                continue
+            try:
+                mailbox_messages.append(MailboxMessage.from_bytes(plaintext))
+            except Exception:
+                invalid_inner += 1
+        return ChainRoundResult(
+            chain_id=self.chain_id,
+            round_number=round_number,
+            status=ChainRoundResult.STATUS_DELIVERED,
+            mailbox_messages=mailbox_messages,
+            rejected_senders=rejected_senders,
+            invalid_inner_count=invalid_inner,
+            input_digest=digest,
+        )

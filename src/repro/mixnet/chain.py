@@ -1,0 +1,164 @@
+"""Anytrust chain formation (§5.2.1).
+
+XRD guarantees privacy as long as every chain contains at least one honest
+server.  Chains are sampled from a public randomness beacon; the chain length
+``k`` is chosen so that the probability that *any* of the ``n`` chains is
+fully malicious is below ``2^-λ`` (a union bound over chains).  Servers that
+appear in multiple chains are *staggered* — placed at different positions in
+different chains — to keep every server busy throughout a round rather than
+idling while upstream chains work (§5.2.1, last paragraph).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.constants import CHAIN_SECURITY_BITS, DEFAULT_MALICIOUS_FRACTION
+from repro.crypto.randomness import PublicRandomnessBeacon
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "required_chain_length",
+    "chain_compromise_probability",
+    "ChainTopology",
+    "form_chains",
+    "stagger_positions",
+    "server_load",
+]
+
+
+def chain_compromise_probability(malicious_fraction: float, chain_length: int, num_chains: int) -> float:
+    """Union-bound probability that at least one chain is entirely malicious."""
+    if not 0.0 <= malicious_fraction < 1.0:
+        raise ConfigurationError("malicious fraction must be in [0, 1)")
+    if chain_length < 1 or num_chains < 1:
+        raise ConfigurationError("chain length and chain count must be positive")
+    return min(1.0, num_chains * malicious_fraction ** chain_length)
+
+
+def required_chain_length(
+    malicious_fraction: float = DEFAULT_MALICIOUS_FRACTION,
+    num_chains: int = 100,
+    security_bits: int = CHAIN_SECURITY_BITS,
+) -> int:
+    """Smallest ``k`` with ``n · f^k ≤ 2^-λ`` (§5.2.1).
+
+    For ``f = 0``, a single server suffices.  The paper's example: with
+    ``f = 0.2`` and fewer than 6000 chains, ``k`` comes out around 32-33 for
+    ``λ = 64``; the value depends only logarithmically on ``n``.
+    """
+    if not 0.0 <= malicious_fraction < 1.0:
+        raise ConfigurationError("malicious fraction must be in [0, 1)")
+    if num_chains < 1:
+        raise ConfigurationError("number of chains must be positive")
+    if security_bits < 0:
+        raise ConfigurationError("security bits must be non-negative")
+    if malicious_fraction == 0.0:
+        return 1
+    # k > (λ + log2(n)) / log2(1/f)
+    numerator = security_bits + math.log2(num_chains)
+    denominator = -math.log2(malicious_fraction)
+    return max(1, math.ceil(numerator / denominator))
+
+
+@dataclass
+class ChainTopology:
+    """The public description of one mix chain: an ordered list of server names."""
+
+    chain_id: int
+    servers: List[str]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def position_of(self, server: str) -> int:
+        """0-based position of ``server`` in this chain."""
+        return self.servers.index(server)
+
+    def __contains__(self, server: str) -> bool:
+        return server in self.servers
+
+
+def form_chains(
+    server_names: Sequence[str],
+    num_chains: int,
+    chain_length: int,
+    beacon: Optional[PublicRandomnessBeacon] = None,
+    epoch: int = 0,
+    stagger: bool = True,
+) -> List[ChainTopology]:
+    """Sample ``num_chains`` chains of ``chain_length`` servers each.
+
+    Sampling is without replacement *within* a chain (a server appears at
+    most once per chain) and uses the public randomness beacon so every
+    participant derives the same topology.  When ``stagger`` is set the
+    per-chain orderings are rebalanced so that servers which appear in many
+    chains occupy different positions in each.
+    """
+    servers = list(server_names)
+    if len(set(servers)) != len(servers):
+        raise ConfigurationError("server names must be unique")
+    if chain_length > len(servers):
+        raise ConfigurationError(
+            f"chain length {chain_length} exceeds the number of servers {len(servers)}"
+        )
+    if num_chains < 1:
+        raise ConfigurationError("number of chains must be positive")
+    beacon = beacon or PublicRandomnessBeacon()
+    chains = []
+    for chain_id in range(num_chains):
+        members = beacon.sample_without_replacement(
+            epoch, servers, chain_length, purpose=f"chain-{chain_id}"
+        )
+        chains.append(ChainTopology(chain_id=chain_id, servers=list(members)))
+    if stagger:
+        chains = stagger_positions(chains)
+    return chains
+
+
+def stagger_positions(chains: Sequence[ChainTopology]) -> List[ChainTopology]:
+    """Reorder servers within each chain to balance per-position load.
+
+    Greedy heuristic: for each chain (in order) and each position, choose the
+    not-yet-placed member that has been assigned to that position the fewest
+    times so far.  This has no security impact — anytrust only needs *some*
+    honest member — but maximises pipeline utilisation (§5.2.1).
+    """
+    position_counts: Dict[int, Dict[str, int]] = {}
+    staggered = []
+    for chain in chains:
+        remaining = list(chain.servers)
+        ordered: List[str] = []
+        for position in range(len(remaining)):
+            counts = position_counts.setdefault(position, {})
+            # Pick the remaining server least used at this position; break
+            # ties by name for determinism.
+            choice = min(remaining, key=lambda name: (counts.get(name, 0), name))
+            ordered.append(choice)
+            remaining.remove(choice)
+            counts[choice] = counts.get(choice, 0) + 1
+        staggered.append(ChainTopology(chain_id=chain.chain_id, servers=ordered))
+    return staggered
+
+
+def server_load(chains: Sequence[ChainTopology]) -> Dict[str, int]:
+    """Number of chains each server participates in (``k`` on average when n = N)."""
+    load: Dict[str, int] = {}
+    for chain in chains:
+        for server in chain.servers:
+            load[server] = load.get(server, 0) + 1
+    return load
+
+
+def position_histogram(chains: Sequence[ChainTopology]) -> Dict[str, List[int]]:
+    """Per-server histogram of chain positions (used to test staggering)."""
+    histogram: Dict[str, List[int]] = {}
+    if not chains:
+        return histogram
+    length = len(chains[0])
+    for chain in chains:
+        for position, server in enumerate(chain.servers):
+            histogram.setdefault(server, [0] * length)[position] += 1
+    return histogram

@@ -1,0 +1,188 @@
+"""Wire formats for XRD messages.
+
+Every honest user's traffic must be indistinguishable from every other
+honest user's, so all formats here are fixed-size for a given deployment:
+
+* :class:`MessageBody` — the application payload plus a one-byte kind tag
+  (data / offline notice), padded to the 256-byte payload size.
+* :class:`MailboxMessage` — what ultimately lands in a mailbox:
+  ``recipient public key || AEnc(s, ρ, body)`` (Algorithm 1 step 2b).
+* :class:`ClientSubmission` — what a user sends to the first server of a
+  chain in the AHS design: the shared outer Diffie-Hellman key ``X = g^x``,
+  the outer ciphertext, and the NIZK that she knows ``x`` (§6.2).
+* :class:`BatchEntry` — the ``(X_i^j, c_i^j)`` pair that flows between
+  servers inside a chain during mixing (§6.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import AEAD_TAG_SIZE, GROUP_ELEMENT_SIZE, PAYLOAD_SIZE
+from repro.crypto.aead import adec, aenc
+from repro.crypto.nizk import SchnorrProof
+from repro.crypto.onion import pad_payload, unpad_payload
+from repro.errors import CryptoError, DecodingError
+
+__all__ = [
+    "MessageBody",
+    "MailboxMessage",
+    "ClientSubmission",
+    "BatchEntry",
+    "batch_digest",
+    "mailbox_message_size",
+]
+
+#: Kind tag for an ordinary application payload.
+KIND_DATA = 0
+#: Kind tag for the "I have gone offline" notice carried by cover messages.
+KIND_OFFLINE_NOTICE = 1
+#: Kind tag for a loopback body (all-zero dummy content addressed to oneself).
+KIND_LOOPBACK = 2
+
+
+@dataclass(frozen=True)
+class MessageBody:
+    """Application payload plus a kind tag, padded to the fixed payload size."""
+
+    kind: int
+    content: bytes
+
+    def encode(self, size: int = PAYLOAD_SIZE) -> bytes:
+        """Serialise and pad to ``size`` bytes."""
+        if self.kind not in (KIND_DATA, KIND_OFFLINE_NOTICE, KIND_LOOPBACK):
+            raise CryptoError(f"unknown message kind {self.kind}")
+        return pad_payload(bytes([self.kind]) + self.content, size)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MessageBody":
+        """Parse a padded body."""
+        raw = unpad_payload(data)
+        if not raw:
+            raise DecodingError("message body missing kind byte")
+        return cls(kind=raw[0], content=raw[1:])
+
+    @classmethod
+    def data(cls, content: bytes) -> "MessageBody":
+        return cls(kind=KIND_DATA, content=content)
+
+    @classmethod
+    def offline_notice(cls) -> "MessageBody":
+        return cls(kind=KIND_OFFLINE_NOTICE, content=b"")
+
+    @classmethod
+    def loopback(cls) -> "MessageBody":
+        return cls(kind=KIND_LOOPBACK, content=b"")
+
+    def is_offline_notice(self) -> bool:
+        return self.kind == KIND_OFFLINE_NOTICE
+
+    def is_loopback(self) -> bool:
+        return self.kind == KIND_LOOPBACK
+
+
+def mailbox_message_size(payload_size: int = PAYLOAD_SIZE) -> int:
+    """Wire size of a :class:`MailboxMessage` for a given padded payload size."""
+    return GROUP_ELEMENT_SIZE + payload_size + AEAD_TAG_SIZE
+
+
+@dataclass(frozen=True)
+class MailboxMessage:
+    """``(pk_u, AEnc(s, ρ, body))`` — the plaintext recovered by the last server."""
+
+    recipient: bytes
+    sealed_body: bytes
+
+    @classmethod
+    def seal(cls, recipient: bytes, symmetric_key: bytes, round_number: int, body: MessageBody,
+             payload_size: int = PAYLOAD_SIZE) -> "MailboxMessage":
+        """Encrypt ``body`` for ``recipient`` under ``symmetric_key``."""
+        if len(recipient) != GROUP_ELEMENT_SIZE:
+            raise CryptoError("recipient identifier must be an encoded public key")
+        sealed = aenc(symmetric_key, round_number, body.encode(payload_size))
+        return cls(recipient=recipient, sealed_body=sealed)
+
+    def open(self, symmetric_key: bytes, round_number: int) -> Optional[MessageBody]:
+        """Attempt to decrypt with ``symmetric_key``; return ``None`` on failure."""
+        ok, plaintext = adec(symmetric_key, round_number, self.sealed_body)
+        if not ok or plaintext is None:
+            return None
+        return MessageBody.decode(plaintext)
+
+    def to_bytes(self) -> bytes:
+        return self.recipient + self.sealed_body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MailboxMessage":
+        if len(data) < GROUP_ELEMENT_SIZE + AEAD_TAG_SIZE:
+            raise DecodingError("mailbox message too short")
+        return cls(recipient=data[:GROUP_ELEMENT_SIZE], sealed_body=data[GROUP_ELEMENT_SIZE:])
+
+    def __len__(self) -> int:
+        return len(self.recipient) + len(self.sealed_body)
+
+
+@dataclass(frozen=True)
+class ClientSubmission:
+    """A user's per-chain submission in the AHS design (§6.2).
+
+    The sender identity is carried in the clear — the first server of a chain
+    necessarily knows who submitted what; XRD's privacy comes from the shuffle
+    breaking the link between submissions and delivered mailbox messages.
+    """
+
+    chain_id: int
+    sender: str
+    dh_public: bytes
+    ciphertext: bytes
+    proof: SchnorrProof
+    cover: bool = False
+
+    def to_bytes(self) -> bytes:
+        """Serialise for size accounting (proof = commitment || response)."""
+        header = self.chain_id.to_bytes(4, "big") + len(self.sender).to_bytes(2, "big")
+        proof_bytes = self.proof.commitment + self.proof.response.to_bytes(32, "little")
+        return header + self.sender.encode() + self.dh_public + proof_bytes + self.ciphertext
+
+    def wire_size(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """The ``(X_i^j, c_i^j)`` pair passed from server ``i`` to server ``i+1``."""
+
+    dh_public: object
+    ciphertext: bytes
+
+    def digest_material(self, group) -> bytes:
+        return group.encode(self.dh_public) + self.ciphertext
+
+
+def batch_digest(group, entries: Sequence[BatchEntry]) -> bytes:
+    """Input-agreement digest: hash of the sorted entries (§6.3 preamble).
+
+    All servers in a chain compare this digest before mixing starts so they
+    agree on the round's input set.
+    """
+    hasher = hashlib.sha256()
+    for material in sorted(entry.digest_material(group) for entry in entries):
+        hasher.update(material)
+    return hasher.digest()
+
+
+def split_into_payload_chunks(data: bytes, payload_size: int = PAYLOAD_SIZE) -> List[bytes]:
+    """Split an oversized application message into padded-size chunks.
+
+    The paper requires users to break large messages into multiple fixed-size
+    pieces (§4); this helper performs that split (the chunk payload budget is
+    the padded size minus the 2-byte length prefix and 1-byte kind tag).
+    """
+    budget = payload_size - 3
+    if budget <= 0:
+        raise CryptoError("payload size too small to carry any data")
+    if not data:
+        return [b""]
+    return [data[offset:offset + budget] for offset in range(0, len(data), budget)]

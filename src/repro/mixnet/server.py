@@ -1,0 +1,104 @@
+"""Baseline mix server (Algorithm 1) — the §5 design without AHS.
+
+This is the decrypt-and-shuffle server of the base XRD design: it protects
+against honest-but-curious adversaries but offers no protection against
+active tampering (that is what the aggregate hybrid shuffle in
+:mod:`repro.mixnet.ahs` adds).  It is retained both as a faithful
+reproduction of §5 and as the "no verification" arm of the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.onion import decrypt_baseline_layer
+from repro.errors import ProtocolError
+from repro.mixnet.messages import MailboxMessage
+
+__all__ = ["BaselineMixServer", "BaselineMixChain", "BaselineRoundResult"]
+
+
+class BaselineMixServer:
+    """A single mix server with an independent mixing key pair (Algorithm 1)."""
+
+    def __init__(self, server_name: str, group, rng: Optional[random.Random] = None) -> None:
+        self.server_name = server_name
+        self.group = group
+        self._rng = rng or random.SystemRandom()
+        self.mixing_secret = group.random_scalar(self._rng)
+        self.mixing_public = group.base_mult(self.mixing_secret)
+
+    def process(self, round_number: int, ciphertexts: Sequence[bytes]) -> Tuple[List[bytes], List[int]]:
+        """Decrypt one onion layer from each ciphertext and shuffle the results.
+
+        Returns the shuffled next-layer ciphertexts and the indices of inputs
+        whose decryption failed (which the baseline design simply drops —
+        precisely the behaviour the paper shows is exploitable, see
+        ``tests/test_baseline_attack.py``).
+        """
+        decrypted: List[bytes] = []
+        failed: List[int] = []
+        for index, ciphertext in enumerate(ciphertexts):
+            ok, plaintext = decrypt_baseline_layer(
+                self.group, self.mixing_secret, round_number, ciphertext
+            )
+            if not ok or plaintext is None:
+                failed.append(index)
+                continue
+            decrypted.append(plaintext)
+        self._rng.shuffle(decrypted)
+        return decrypted, failed
+
+
+@dataclass
+class BaselineRoundResult:
+    """Outcome of one round on a baseline (non-AHS) chain."""
+
+    chain_id: int
+    round_number: int
+    mailbox_messages: List[MailboxMessage] = field(default_factory=list)
+    dropped: int = 0
+    malformed: int = 0
+
+
+class BaselineMixChain:
+    """A chain of :class:`BaselineMixServer` instances (the §5 base design)."""
+
+    def __init__(self, chain_id: int, servers: Sequence[BaselineMixServer], group) -> None:
+        if not servers:
+            raise ProtocolError("a chain needs at least one server")
+        self.chain_id = chain_id
+        self.servers = list(servers)
+        self.group = group
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def mixing_public_keys(self) -> List[object]:
+        """Public mixing keys in chain order, for users to onion-encrypt with."""
+        return [server.mixing_public for server in self.servers]
+
+    def run_round(self, round_number: int, ciphertexts: Sequence[bytes]) -> BaselineRoundResult:
+        """Run Algorithm 1 over the submitted onions and parse the final plaintexts."""
+        current = list(ciphertexts)
+        dropped = 0
+        for server in self.servers:
+            current, failed = server.process(round_number, current)
+            dropped += len(failed)
+        messages: List[MailboxMessage] = []
+        malformed = 0
+        for plaintext in current:
+            try:
+                messages.append(MailboxMessage.from_bytes(plaintext))
+            except Exception:
+                malformed += 1
+        return BaselineRoundResult(
+            chain_id=self.chain_id,
+            round_number=round_number,
+            mailbox_messages=messages,
+            dropped=dropped,
+            malformed=malformed,
+        )

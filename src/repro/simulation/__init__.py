@@ -1,0 +1,34 @@
+"""Performance models used to regenerate the paper's evaluation.
+
+The paper's end-to-end numbers come from a 100–200 machine EC2 testbed with
+2M simulated users — far beyond what a pure-Python in-process prototype can
+execute directly (see DESIGN.md §3).  This package substitutes a calibrated
+analytic model plus Monte-Carlo simulation:
+
+* :mod:`repro.simulation.costmodel` — per-operation costs, either measured
+  from this library's primitives or calibrated to the paper's testbed.
+* :mod:`repro.simulation.latency` — end-to-end latency models for XRD
+  (analytic and pipeline/discrete-event variants).
+* :mod:`repro.simulation.bandwidth` — per-user bandwidth and computation.
+* :mod:`repro.simulation.churn` — server-churn conversation-failure rates
+  (analytic + Monte-Carlo over the real chain-formation code).
+* :mod:`repro.simulation.microbench` — microbenchmarks of our primitives.
+* :mod:`repro.simulation.events` — a small discrete-event simulator used by
+  the pipeline latency model and the staggering ablation.
+"""
+
+from repro.simulation.costmodel import CostModel
+from repro.simulation.latency import blame_latency, xrd_latency, xrd_latency_pipeline
+from repro.simulation.bandwidth import xrd_user_bandwidth, xrd_user_compute
+from repro.simulation.churn import analytic_failure_rate, simulate_failure_rate
+
+__all__ = [
+    "CostModel",
+    "analytic_failure_rate",
+    "blame_latency",
+    "simulate_failure_rate",
+    "xrd_latency",
+    "xrd_latency_pipeline",
+    "xrd_user_bandwidth",
+    "xrd_user_compute",
+]

@@ -1,0 +1,125 @@
+"""A small discrete-event simulator for the chain pipeline.
+
+The paper's chains are staggered across servers so that every server is busy
+throughout a round (§5.2.1).  To study that effect (and as an alternative to
+the closed-form latency model) we model a round as a set of jobs: chain ``c``
+must pass through its servers in order; each stage occupies one core of its
+server for a service time; a server has a bounded number of cores.  The
+simulator computes the makespan — the time the last chain finishes — which is
+the round's mixing latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["StageJob", "PipelineResult", "simulate_chain_pipeline"]
+
+
+@dataclass(frozen=True)
+class StageJob:
+    """One stage of one chain: ``server`` must spend ``service_time`` on it."""
+
+    chain_id: int
+    stage_index: int
+    server: str
+    service_time: float
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a pipeline simulation."""
+
+    makespan: float
+    chain_completion: Dict[int, float]
+    server_busy_time: Dict[str, float]
+    server_utilisation: Dict[str, float] = field(default_factory=dict)
+
+    def max_utilisation(self) -> float:
+        return max(self.server_utilisation.values(), default=0.0)
+
+    def min_utilisation(self) -> float:
+        return min(self.server_utilisation.values(), default=0.0)
+
+
+class _ServerState:
+    """Tracks when cores of a server become free (earliest-available scheduling)."""
+
+    def __init__(self, cores: int) -> None:
+        self.free_at = [0.0] * cores
+        self.busy_time = 0.0
+
+    def schedule(self, ready_time: float, service_time: float) -> Tuple[float, float]:
+        """Run a job that becomes ready at ``ready_time``; return (start, finish)."""
+        index = min(range(len(self.free_at)), key=lambda i: self.free_at[i])
+        start = max(ready_time, self.free_at[index])
+        finish = start + service_time
+        self.free_at[index] = finish
+        self.busy_time += service_time
+        return start, finish
+
+
+def simulate_chain_pipeline(
+    chains: Sequence[Sequence[str]],
+    stage_time: float,
+    network_rtt: float = 0.0,
+    cores_per_server: int = 1,
+) -> PipelineResult:
+    """Simulate one round of mixing across staggered chains.
+
+    ``chains[c]`` is the ordered list of server names of chain ``c``; every
+    stage takes ``stage_time`` seconds of server compute plus ``network_rtt``
+    to hand the batch to the next server.  Chains are processed greedily in
+    chain order, stage by stage, with each server running at most
+    ``cores_per_server`` stages concurrently.
+
+    The scheduler is event-driven: stages become ready when their upstream
+    stage finishes, and each server runs ready stages in ready-time order.
+    """
+    if stage_time < 0 or network_rtt < 0:
+        raise SimulationError("stage time and RTT must be non-negative")
+    if cores_per_server < 1:
+        raise SimulationError("cores_per_server must be at least 1")
+
+    servers: Dict[str, _ServerState] = {}
+    for chain in chains:
+        for server in chain:
+            servers.setdefault(server, _ServerState(cores_per_server))
+
+    # Event queue of (ready_time, tie_breaker, chain_id, stage_index).
+    queue: List[Tuple[float, int, int, int]] = []
+    tie = 0
+    for chain_id, chain in enumerate(chains):
+        if not chain:
+            raise SimulationError("chains must have at least one stage")
+        heapq.heappush(queue, (0.0, tie, chain_id, 0))
+        tie += 1
+
+    chain_completion: Dict[int, float] = {}
+    while queue:
+        ready_time, _, chain_id, stage_index = heapq.heappop(queue)
+        chain = chains[chain_id]
+        server = servers[chain[stage_index]]
+        _, finish = server.schedule(ready_time, stage_time)
+        if stage_index + 1 < len(chain):
+            heapq.heappush(queue, (finish + network_rtt, tie, chain_id, stage_index + 1))
+            tie += 1
+        else:
+            chain_completion[chain_id] = finish
+
+    makespan = max(chain_completion.values(), default=0.0)
+    busy = {name: state.busy_time for name, state in servers.items()}
+    utilisation = {
+        name: (state.busy_time / (makespan * cores_per_server) if makespan > 0 else 0.0)
+        for name, state in servers.items()
+    }
+    return PipelineResult(
+        makespan=makespan,
+        chain_completion=chain_completion,
+        server_busy_time=busy,
+        server_utilisation=utilisation,
+    )

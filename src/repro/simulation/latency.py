@@ -1,0 +1,144 @@
+"""End-to-end latency models for XRD (§8.2).
+
+Two models are provided:
+
+* :func:`xrd_latency` — the closed-form critical-path model.  Each of the
+  ``n`` chains handles ``R = M·ℓ/n`` messages; a round's critical path is
+  the ``k`` sequential decrypt–blind–shuffle stages of a chain, each costing
+  ``R · c + RTT`` where ``c`` is the per-message per-hop constant of the
+  :class:`~repro.simulation.costmodel.CostModel`.  With the paper-calibrated
+  constant this reproduces the Figure 4/5 anchors within a few percent.
+* :func:`xrd_latency_pipeline` — a discrete-event version that additionally
+  models contention between the ``k`` chains each server belongs to and the
+  effect of (not) staggering server positions.
+
+:func:`blame_latency` models Figure 7 (worst-case slowdown from malicious
+users triggering the blame protocol at the last server of a chain).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.client.chain_selection import ell_for_chains
+from repro.constants import CHAIN_SECURITY_BITS, DEFAULT_MALICIOUS_FRACTION, PAYLOAD_SIZE
+from repro.crypto.onion import onion_size
+from repro.errors import SimulationError
+from repro.mixnet.chain import required_chain_length
+from repro.simulation.costmodel import CostModel
+from repro.simulation.events import simulate_chain_pipeline
+
+__all__ = [
+    "messages_per_chain",
+    "xrd_latency",
+    "xrd_latency_pipeline",
+    "blame_latency",
+]
+
+
+def messages_per_chain(num_users: int, num_chains: int) -> float:
+    """Messages each chain shuffles per round: ``R = M·ℓ/n ≈ √2·M/√n`` (§4.2)."""
+    if num_users < 0 or num_chains < 1:
+        raise SimulationError("invalid user or chain count")
+    return num_users * ell_for_chains(num_chains) / num_chains
+
+
+def xrd_latency(
+    num_users: int,
+    num_servers: int,
+    malicious_fraction: float = DEFAULT_MALICIOUS_FRACTION,
+    cost_model: Optional[CostModel] = None,
+    num_chains: Optional[int] = None,
+    security_bits: int = CHAIN_SECURITY_BITS,
+    payload_size: int = PAYLOAD_SIZE,
+) -> float:
+    """Closed-form end-to-end latency estimate in seconds.
+
+    The critical path of a round is one chain: ``k`` stages, each of which
+    must process the chain's ``R`` messages (compute plus transmission) and
+    forward the batch over one RTT.  Decryption of the inner envelopes and
+    mailbox delivery add one more R-sized stage at the end.
+    """
+    cost_model = cost_model or CostModel.paper_testbed()
+    num_chains = num_chains if num_chains is not None else num_servers
+    chain_length = required_chain_length(malicious_fraction, num_chains, security_bits)
+    load = messages_per_chain(num_users, num_chains)
+    message_bytes = onion_size(chain_length, payload_size)
+    stage_time = load * cost_model.mix_per_message_per_hop + cost_model.transmit_time(
+        load * message_bytes
+    )
+    mixing = chain_length * (stage_time + cost_model.network_rtt)
+    final_stage = load * cost_model.mix_per_message_per_hop + cost_model.network_rtt
+    return mixing + final_stage
+
+
+def xrd_latency_pipeline(
+    num_users: int,
+    num_servers: int,
+    malicious_fraction: float = DEFAULT_MALICIOUS_FRACTION,
+    cost_model: Optional[CostModel] = None,
+    num_chains: Optional[int] = None,
+    security_bits: int = CHAIN_SECURITY_BITS,
+    stagger: bool = True,
+    seed: int = 0,
+) -> float:
+    """Discrete-event latency estimate with per-server contention.
+
+    Servers appear in ≈``k`` chains each; the pipeline simulator schedules
+    every (chain, stage) job on its server with a bounded number of cores, so
+    the result captures the contention the closed-form model ignores and the
+    benefit of staggering chain positions.
+    """
+    from repro.crypto.randomness import PublicRandomnessBeacon
+    from repro.mixnet.chain import form_chains
+
+    cost_model = cost_model or CostModel.paper_testbed()
+    num_chains = num_chains if num_chains is not None else num_servers
+    chain_length = required_chain_length(malicious_fraction, num_chains, security_bits)
+    chain_length = min(chain_length, num_servers)
+    load = messages_per_chain(num_users, num_chains)
+    stage_time = load * cost_model.mix_per_message_per_hop
+    beacon = PublicRandomnessBeacon(seed=b"latency-pipeline-%d" % seed)
+    topologies = form_chains(
+        [f"server-{index}" for index in range(num_servers)],
+        num_chains,
+        chain_length,
+        beacon=beacon,
+        stagger=stagger,
+    )
+    result = simulate_chain_pipeline(
+        [topology.servers for topology in topologies],
+        stage_time=stage_time,
+        network_rtt=cost_model.network_rtt,
+        cores_per_server=cost_model.cores_per_server,
+    )
+    return result.makespan
+
+
+def blame_latency(
+    num_malicious_users: int,
+    num_chains: int = 100,
+    malicious_fraction: float = DEFAULT_MALICIOUS_FRACTION,
+    cost_model: Optional[CostModel] = None,
+    security_bits: int = CHAIN_SECURITY_BITS,
+) -> float:
+    """Worst-case extra latency of the blame protocol (Figure 7).
+
+    Each flagged ciphertext costs, per upstream layer, two discrete-log
+    equality proofs (generation by the revealing server, verification by the
+    others — verification dominates) and one authenticated decryption; the
+    worst case is misauthentication detected at the *last* server, so all
+    ``k − 1`` upstream layers are walked for every malicious user.  The
+    per-message work parallelises across the server's cores.
+    """
+    if num_malicious_users < 0:
+        raise SimulationError("number of malicious users must be non-negative")
+    cost_model = cost_model or CostModel.paper_testbed()
+    chain_length = required_chain_length(malicious_fraction, num_chains, security_bits)
+    per_user = (chain_length - 1) * cost_model.blame_per_message_per_layer()
+    serial = num_malicious_users * per_user / cost_model.cores_per_server
+    # Re-running the aggregate-proof step after removing the bad ciphertexts
+    # costs one extra pass over the chain.
+    rerun = chain_length * cost_model.network_rtt
+    return serial + rerun

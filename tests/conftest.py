@@ -1,0 +1,66 @@
+"""Shared fixtures for the XRD reproduction test suite.
+
+Most protocol tests run on the small ``ModPGroup`` (fast, insecure — test
+only); the Ed25519 group is exercised directly by the crypto tests and by one
+end-to-end integration test so the default production path is covered too.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.crypto.group import Ed25519Group, ModPGroup
+
+
+@pytest.fixture(scope="session")
+def group():
+    """The fast modular test group used by most protocol tests."""
+    return ModPGroup(bits=96)
+
+@pytest.fixture(scope="session")
+def ed_group():
+    """The real edwards25519 group."""
+    return Ed25519Group()
+
+
+@pytest.fixture
+def rng():
+    """A deterministic PRNG for reproducible tests."""
+    return random.Random(1234)
+
+
+def make_deployment(
+    num_servers: int = 4,
+    num_users: int = 6,
+    num_chains: int = 3,
+    chain_length: int = 2,
+    seed: int = 42,
+    group_kind: str = "modp",
+    **kwargs,
+) -> Deployment:
+    """Build a small deterministic deployment on the fast test group."""
+    config = DeploymentConfig(
+        num_servers=num_servers,
+        num_users=num_users,
+        num_chains=num_chains,
+        chain_length=chain_length,
+        seed=seed,
+        group_kind=group_kind,
+        **kwargs,
+    )
+    return Deployment.create(config)
+
+
+@pytest.fixture
+def deployment():
+    """A default small deployment (4 servers, 3 chains of length 2, 6 users)."""
+    return make_deployment()
+
+
+@pytest.fixture
+def deployment_long_chains():
+    """A deployment with 3-server chains, used by tampering/blame tests."""
+    return make_deployment(num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=7)

@@ -1,0 +1,141 @@
+"""Tests for adversarial behaviours at the deployment level."""
+
+import pytest
+
+from repro.coordinator.adversary import (
+    MODE_BREAK_AGGREGATE,
+    MODE_DROP_MESSAGE,
+    MODE_PRESERVE_AGGREGATE,
+    MODE_TAMPER_CIPHERTEXT,
+    TamperingMember,
+    forge_invalid_proof_submission,
+    forge_misauthenticated_submission,
+    install_tampering_server,
+)
+from repro.errors import ConfigurationError
+from repro.mixnet.ahs import ChainRoundResult
+
+from tests.conftest import make_deployment
+
+
+class TestTamperingServerAtDeploymentLevel:
+    @pytest.mark.parametrize(
+        "mode,expected_status",
+        [
+            (MODE_TAMPER_CIPHERTEXT, ChainRoundResult.STATUS_HALTED_BLAME),
+            (MODE_PRESERVE_AGGREGATE, ChainRoundResult.STATUS_HALTED_BLAME),
+            (MODE_BREAK_AGGREGATE, ChainRoundResult.STATUS_HALTED_SERVER),
+            (MODE_DROP_MESSAGE, ChainRoundResult.STATUS_HALTED_SERVER),
+        ],
+    )
+    def test_every_tampering_mode_is_detected(self, mode, expected_status):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=7
+        )
+        install_tampering_server(deployment, chain_id=0, position=0, mode=mode)
+        report = deployment.run_round()
+        result = report.chain_results[0]
+        assert result.status == expected_status
+        # The affected chain released nothing; other chains were unaffected.
+        assert result.mailbox_messages == []
+        assert report.chain_results[1].delivered
+        assert report.chain_results[2].delivered
+
+    def test_tampering_identifies_correct_server(self):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=7
+        )
+        chain = deployment.chain(0)
+        guilty_name = chain.members[0].server_name
+        install_tampering_server(deployment, chain_id=0, position=0, mode=MODE_TAMPER_CIPHERTEXT)
+        report = deployment.run_round()
+        verdict = report.chain_results[0].blame_verdict
+        assert verdict.malicious_servers == [guilty_name]
+        assert verdict.malicious_users == []
+
+    def test_other_chains_unaffected_conversations_succeed(self):
+        from repro.client.chain_selection import intersection_chain
+
+        deployment = make_deployment(
+            num_servers=4, num_users=12, num_chains=3, chain_length=3, seed=11
+        )
+        # Find a conversation whose intersection chain is NOT the tampered one.
+        alice, bob = None, None
+        for first in deployment.users:
+            for second in deployment.users:
+                if first is second:
+                    continue
+                chain_id = intersection_chain(
+                    first.public_bytes, second.public_bytes, deployment.num_chains
+                )
+                if chain_id != 0:
+                    alice, bob = first, second
+                    break
+            if alice:
+                break
+        assert alice is not None, "test setup: no pair avoids chain 0"
+        deployment.start_conversation(alice.name, bob.name)
+        install_tampering_server(deployment, chain_id=0, position=0, mode=MODE_TAMPER_CIPHERTEXT)
+        report = deployment.run_round(payloads={alice.name: b"safe?", bob.name: b"yes"})
+        assert report.conversation_payloads(bob.name) == [b"safe?"]
+
+    def test_invalid_mode_rejected(self, deployment):
+        with pytest.raises(ConfigurationError):
+            TamperingMember(deployment.chain(0).members[0], "unknown-mode")
+
+    def test_install_position_out_of_range(self, deployment):
+        with pytest.raises(ConfigurationError):
+            install_tampering_server(deployment, 0, 99, MODE_TAMPER_CIPHERTEXT)
+
+    def test_wrapper_delegates_attributes(self, deployment):
+        member = deployment.chain(0).members[0]
+        wrapper = TamperingMember(member, MODE_TAMPER_CIPHERTEXT)
+        assert wrapper.server_name == member.server_name
+        assert wrapper.position == member.position
+        assert wrapper.blinding_public == member.blinding_public
+
+
+class TestMaliciousUsers:
+    def test_misauthenticated_submission_convicted_and_removed(self):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=8
+        )
+        views = deployment.chain_keys_view(1)
+        bad = forge_misauthenticated_submission(deployment.group, views[0], 1, "mallory")
+        report = deployment.run_round(extra_submissions=[bad])
+        assert "mallory" in report.rejected_senders
+        assert report.chain_results[0].delivered
+        # Honest users' messages were unaffected.
+        assert set(report.mailbox_counts.values()) == {deployment.ell()}
+
+    def test_invalid_proof_rejected_at_intake(self):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=9
+        )
+        views = deployment.chain_keys_view(1)
+        bad = forge_invalid_proof_submission(deployment.group, views[0], 1, "mallory")
+        report = deployment.run_round(extra_submissions=[bad])
+        assert "mallory" in report.rejected_senders
+        assert report.chain_results[0].delivered
+        # Intake rejection means no blame protocol was needed.
+        assert report.chain_results[0].blame_verdict is None
+
+    def test_forge_fail_position_out_of_range(self, deployment):
+        views = deployment.chain_keys_view(1)
+        with pytest.raises(ConfigurationError):
+            forge_misauthenticated_submission(
+                deployment.group, views[0], 1, "mallory", fail_at_position=99
+            )
+
+    def test_multiple_malicious_users_different_chains(self):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=10
+        )
+        views = deployment.chain_keys_view(1)
+        bad = [
+            forge_misauthenticated_submission(deployment.group, views[chain_id], 1, f"mallory-{chain_id}")
+            for chain_id in range(3)
+        ]
+        report = deployment.run_round(extra_submissions=bad)
+        assert sorted(report.rejected_senders) == ["mallory-0", "mallory-1", "mallory-2"]
+        assert report.all_chains_delivered()

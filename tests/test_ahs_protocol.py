@@ -1,0 +1,318 @@
+"""Tests for the aggregate hybrid shuffle: key ceremony, mixing, verification."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.nizk import verify_dlog
+from repro.crypto.onion import encrypt_inner, encrypt_outer_layers
+from repro.errors import ProofError, ProtocolError
+from repro.mixnet.ahs import (
+    ChainMember,
+    ChainRoundResult,
+    MixChain,
+    setup_context,
+    submission_context,
+)
+from repro.mixnet.messages import ClientSubmission, MailboxMessage, MessageBody
+from repro.crypto.nizk import prove_dlog
+
+
+def build_chain(group, length=3, chain_id=0, seed=11):
+    members = [
+        ChainMember(f"server-{index}", chain_id, index, group, random.Random(seed + index))
+        for index in range(length)
+    ]
+    chain = MixChain(chain_id=chain_id, members=members, group=group)
+    chain.setup()
+    return chain
+
+
+def make_submission(group, chain, round_number, sender, recipient_key, symmetric_key, body=None):
+    """Build a well-formed AHS submission for one chain."""
+    body = body or MessageBody.data(b"payload for " + sender.encode())
+    mailbox_message = MailboxMessage.seal(recipient_key, symmetric_key, round_number, body)
+    envelope = encrypt_inner(
+        group, chain.aggregate_inner_public(round_number), round_number, mailbox_message.to_bytes()
+    )
+    ephemeral = group.random_scalar()
+    ciphertext = encrypt_outer_layers(
+        group, chain.public_keys.mixing_publics, round_number, envelope.to_bytes(), ephemeral
+    )
+    proof = prove_dlog(
+        group, group.base(), ephemeral, submission_context(chain.chain_id, round_number, sender)
+    )
+    return ClientSubmission(
+        chain_id=chain.chain_id,
+        sender=sender,
+        dh_public=group.encode(group.base_mult(ephemeral)),
+        ciphertext=ciphertext,
+        proof=proof,
+    )
+
+
+class TestKeyCeremony:
+    def test_chained_key_structure(self, group):
+        """bpk_i and mpk_i are both powers of bpk_{i-1}, with bpk_0 = g (§6.1)."""
+        chain = build_chain(group, length=4)
+        keys = chain.public_keys
+        base = group.base()
+        for index, member in enumerate(chain.members):
+            assert keys.base_points[index] == base
+            assert keys.blinding_publics[index] == group.scalar_mult(base, member.blinding_secret)
+            assert keys.mixing_publics[index] == group.scalar_mult(base, member.mixing_secret)
+            base = keys.blinding_publics[index]
+
+    def test_setup_returns_all_keys(self, group):
+        chain = build_chain(group, length=5)
+        assert chain.public_keys.length == 5
+        assert len(chain.public_keys.blinding_publics) == 5
+
+    def test_setup_proofs_verified(self, group):
+        """A member that lies about knowing its secret is caught during setup."""
+
+        class LyingMember(ChainMember):
+            def generate_long_term_keys(self, base_point):
+                bundle = super().generate_long_term_keys(base_point)
+                # Claim a different blinding public key than the one proven.
+                return type(bundle)(
+                    position=bundle.position,
+                    blinding_public=self.group.scalar_mult(base_point, self.group.random_scalar()),
+                    mixing_public=bundle.mixing_public,
+                    blinding_proof=bundle.blinding_proof,
+                    mixing_proof=bundle.mixing_proof,
+                )
+
+        members = [
+            ChainMember("server-0", 0, 0, group, random.Random(1)),
+            LyingMember("server-1", 0, 1, group, random.Random(2)),
+        ]
+        chain = MixChain(0, members, group)
+        with pytest.raises(ProofError):
+            chain.setup()
+
+    def test_empty_chain_rejected(self, group):
+        with pytest.raises(ProtocolError):
+            MixChain(0, [], group)
+
+    def test_user_can_derive_layer_keys(self, group):
+        """The DH key a user derives for layer i equals the one server i derives (§6.3)."""
+        chain = build_chain(group, length=3)
+        ephemeral = group.random_scalar()
+        dh_public = group.base_mult(ephemeral)
+        for index, member in enumerate(chain.members):
+            user_side = group.scalar_mult(chain.public_keys.mixing_publics[index], ephemeral)
+            server_side = group.scalar_mult(dh_public, member.mixing_secret)
+            assert user_side == server_side
+            dh_public = group.scalar_mult(dh_public, member.blinding_secret)
+
+
+class TestInnerKeys:
+    def test_begin_round_aggregates(self, group):
+        chain = build_chain(group)
+        aggregate = chain.begin_round(1)
+        expected = group.sum(
+            group.base_mult(member.round_record(1).inner_secret) for member in chain.members
+        )
+        assert aggregate == expected
+
+    def test_begin_round_proofs(self, group):
+        chain = build_chain(group)
+        member = chain.members[0]
+        announcement = member.begin_round(7)
+        assert verify_dlog(
+            group,
+            group.base(),
+            announcement.inner_public,
+            announcement.proof,
+            b"xrd/inner-key|" + (0).to_bytes(4, "big") + (0).to_bytes(2, "big") + (7).to_bytes(8, "big"),
+        )
+
+    def test_aggregate_inner_requires_begin(self, group):
+        chain = build_chain(group)
+        with pytest.raises(ProtocolError):
+            chain.aggregate_inner_public(3)
+
+    def test_reveal_requires_begin(self, group):
+        chain = build_chain(group)
+        with pytest.raises(ProtocolError):
+            chain.members[0].reveal_inner_secret(9)
+
+    def test_delete_inner_secret(self, group):
+        chain = build_chain(group)
+        chain.begin_round(1)
+        chain.members[0].delete_inner_secret(1)
+        with pytest.raises(ProtocolError):
+            chain.members[0].reveal_inner_secret(1)
+
+
+class TestSubmissionIntake:
+    def test_valid_submissions_accepted(self, group):
+        chain = build_chain(group)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        submission = make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x01" * 32)
+        entries, rejected = chain.accept_submissions(1, [submission])
+        assert len(entries) == 1 and rejected == []
+
+    def test_wrong_chain_id_rejected(self, group):
+        chain = build_chain(group, chain_id=0)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        submission = make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x01" * 32)
+        wrong = ClientSubmission(99, "alice", submission.dh_public, submission.ciphertext, submission.proof)
+        _, rejected = chain.accept_submissions(1, [wrong])
+        assert rejected == ["alice"]
+
+    def test_invalid_proof_rejected(self, group):
+        chain = build_chain(group)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        good = make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x01" * 32)
+        forged = ClientSubmission(
+            chain_id=0,
+            sender="mallory",
+            dh_public=group.encode(group.base_mult(group.random_scalar())),
+            ciphertext=good.ciphertext,
+            proof=good.proof,
+        )
+        _, rejected = chain.accept_submissions(1, [forged])
+        assert rejected == ["mallory"]
+
+    def test_undecodable_key_rejected(self, group):
+        chain = build_chain(group)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        good = make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x01" * 32)
+        broken = ClientSubmission(0, "mallory", b"\xff" * 32, good.ciphertext, good.proof)
+        _, rejected = chain.accept_submissions(1, [broken])
+        assert rejected == ["mallory"]
+
+    def test_run_round_requires_accept(self, group):
+        chain = build_chain(group)
+        chain.begin_round(1)
+        with pytest.raises(ProtocolError):
+            chain.run_round(1)
+
+
+class TestHonestMixing:
+    def test_all_messages_delivered(self, group):
+        chain = build_chain(group, length=3)
+        chain.begin_round(1)
+        recipients = [KeyPair.generate(group) for _ in range(5)]
+        keys = [bytes([index + 1]) * 32 for index in range(5)]
+        submissions = [
+            make_submission(group, chain, 1, f"user-{index}", recipients[index].public_bytes, keys[index])
+            for index in range(5)
+        ]
+        chain.accept_submissions(1, submissions)
+        result = chain.run_round(1)
+        assert result.status == ChainRoundResult.STATUS_DELIVERED
+        assert len(result.mailbox_messages) == 5
+        delivered_recipients = {message.recipient for message in result.mailbox_messages}
+        assert delivered_recipients == {keypair.public_bytes for keypair in recipients}
+        for index, recipient in enumerate(recipients):
+            matching = [m for m in result.mailbox_messages if m.recipient == recipient.public_bytes]
+            assert len(matching) == 1
+            body = matching[0].open(keys[index], 1)
+            assert body is not None and body.content == f"payload for user-{index}".encode()
+
+    def test_output_order_randomised(self, group):
+        """The delivered order should (almost surely) differ from submission order."""
+        chain = build_chain(group, length=2, seed=3)
+        chain.begin_round(1)
+        recipients = [KeyPair.generate(group) for _ in range(12)]
+        submissions = [
+            make_submission(group, chain, 1, f"user-{index}", recipients[index].public_bytes, b"\x02" * 32)
+            for index in range(12)
+        ]
+        chain.accept_submissions(1, submissions)
+        result = chain.run_round(1)
+        submitted_order = [keypair.public_bytes for keypair in recipients]
+        delivered_order = [message.recipient for message in result.mailbox_messages]
+        assert sorted(submitted_order) == sorted(delivered_order)
+        assert submitted_order != delivered_order
+
+    def test_empty_round(self, group):
+        chain = build_chain(group)
+        chain.begin_round(1)
+        chain.accept_submissions(1, [])
+        result = chain.run_round(1)
+        assert result.delivered
+        assert result.mailbox_messages == []
+
+    def test_history_recorded(self, group):
+        chain = build_chain(group, length=3)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        chain.accept_submissions(
+            1, [make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x03" * 32)]
+        )
+        chain.run_round(1)
+        history = chain.history_for_round(1)
+        assert len(history) == len(chain.members) + 1
+        assert all(len(batch) == 1 for batch in history)
+
+    def test_garbage_inner_envelope_dropped(self, group):
+        """A submission whose outer layers are fine but whose inner envelope is garbage
+        is simply dropped after the reveal (it can only hurt its malicious sender)."""
+        chain = build_chain(group, length=2)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        good = make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x04" * 32)
+        ephemeral = group.random_scalar()
+        garbage_ct = encrypt_outer_layers(
+            group, chain.public_keys.mixing_publics, 1, b"not an inner envelope", ephemeral
+        )
+        bad = ClientSubmission(
+            chain_id=0,
+            sender="mallory",
+            dh_public=group.encode(group.base_mult(ephemeral)),
+            ciphertext=garbage_ct,
+            proof=prove_dlog(group, group.base(), ephemeral, submission_context(0, 1, "mallory")),
+        )
+        chain.accept_submissions(1, [good, bad])
+        result = chain.run_round(1)
+        assert result.delivered
+        assert len(result.mailbox_messages) == 1
+        assert result.invalid_inner_count == 1
+
+    def test_multiple_rounds_independent(self, group):
+        chain = build_chain(group, length=2)
+        recipient = KeyPair.generate(group)
+        for round_number in (1, 2, 3):
+            chain.begin_round(round_number)
+            chain.accept_submissions(
+                round_number,
+                [make_submission(group, chain, round_number, "alice", recipient.public_bytes, b"\x05" * 32)],
+            )
+            result = chain.run_round(round_number)
+            assert result.delivered
+            assert len(result.mailbox_messages) == 1
+
+    def test_replayed_submission_from_previous_round_rejected_or_dropped(self, group):
+        """A ciphertext built for round 1 cannot be delivered in round 2 (nonce binding)."""
+        chain = build_chain(group, length=2)
+        chain.begin_round(1)
+        chain.begin_round(2)
+        recipient = KeyPair.generate(group)
+        submission = make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x06" * 32)
+        entries, rejected = chain.accept_submissions(2, [submission])
+        if rejected:
+            assert rejected == ["alice"]
+        else:
+            result = chain.run_round(2)
+            # Either the round halts with blame pointing at the replayer, or
+            # the message is dropped; it must not be delivered as round-2 mail.
+            if result.delivered:
+                assert len(result.mailbox_messages) == 0
+            else:
+                assert result.blame_verdict is not None
+
+
+class TestContextHelpers:
+    def test_contexts_are_distinct(self):
+        assert setup_context(1, 2) != setup_context(2, 1)
+        assert submission_context(1, 2, "a") != submission_context(1, 2, "b")
+        assert submission_context(1, 2, "a") != submission_context(1, 3, "a")

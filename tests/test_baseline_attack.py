@@ -1,0 +1,91 @@
+"""Demonstration that the §5 baseline is vulnerable to the active attack of §6.
+
+"If the adversary drops Alice's message in a chain, then there are two
+possible observable outcomes in this chain: Alice receives (1) no message,
+meaning Alice is not in a conversation in this chain, or (2) one message,
+meaning someone ... is chatting with Alice." (§4.1)
+
+These tests reproduce that information leak against the baseline chain — and
+then show that the same attack against an AHS chain is detected instead of
+leaking, which is the entire point of the aggregate hybrid shuffle.
+"""
+
+import random
+
+from repro.crypto.keys import KeyPair
+from repro.mixnet.ahs import ChainRoundResult
+from repro.mixnet.messages import MailboxMessage, MessageBody
+from repro.crypto.onion import encrypt_onion_baseline
+from repro.coordinator.adversary import MODE_TAMPER_CIPHERTEXT, TamperingMember
+
+from tests.test_ahs_protocol import build_chain, make_submission
+from tests.test_baseline_server import build_baseline_chain
+
+
+def _baseline_round_with_drop(group, alice_talks_to_bob: bool, drop_first: bool):
+    """Run a baseline round where the adversary drops Alice's submission."""
+    chain = build_baseline_chain(group, length=2, seed=13)
+    alice = KeyPair.generate(group)
+    bob = KeyPair.generate(group)
+    alice_key, bob_key = b"\x0a" * 32, b"\x0b" * 32
+    onions = []
+    # Alice sends either a conversation message to Bob or a loopback to herself.
+    recipient = bob.public_bytes if alice_talks_to_bob else alice.public_bytes
+    alice_onion = encrypt_onion_baseline(
+        group,
+        chain.mixing_public_keys(),
+        1,
+        MailboxMessage.seal(recipient, alice_key, 1, MessageBody.data(b"hi")).to_bytes(),
+    )
+    # Bob mirrors: if they talk, he sends to Alice; otherwise to himself.
+    bob_recipient = alice.public_bytes if alice_talks_to_bob else bob.public_bytes
+    bob_onion = encrypt_onion_baseline(
+        group,
+        chain.mixing_public_keys(),
+        1,
+        MailboxMessage.seal(bob_recipient, bob_key, 1, MessageBody.data(b"yo")).to_bytes(),
+    )
+    onions = [alice_onion, bob_onion]
+    if drop_first:
+        onions = onions[1:]  # the malicious first server silently drops Alice's message
+    result = chain.run_round(1, onions)
+    counts = {alice.public_bytes: 0, bob.public_bytes: 0}
+    for message in result.mailbox_messages:
+        if message.recipient in counts:
+            counts[message.recipient] += 1
+    return counts[alice.public_bytes]
+
+
+class TestBaselineLeak:
+    def test_drop_attack_distinguishes_conversation_state(self, group):
+        """After dropping Alice's message, her mailbox count reveals whether she talks."""
+        alice_count_talking = _baseline_round_with_drop(group, alice_talks_to_bob=True, drop_first=True)
+        alice_count_idle = _baseline_round_with_drop(group, alice_talks_to_bob=False, drop_first=True)
+        # Talking: Bob's message still reaches Alice → 1.  Idle: her loopback
+        # was dropped → 0.  The adversary distinguishes the two worlds.
+        assert alice_count_talking == 1
+        assert alice_count_idle == 0
+
+    def test_without_attack_counts_are_identical(self, group):
+        """Absent tampering the observable count is the same in both worlds."""
+        talking = _baseline_round_with_drop(group, alice_talks_to_bob=True, drop_first=False)
+        idle = _baseline_round_with_drop(group, alice_talks_to_bob=False, drop_first=False)
+        assert talking == idle == 1
+
+
+class TestAHSStopsTheAttack:
+    def test_same_attack_is_detected_not_leaked(self, group):
+        """Against AHS, tampering halts the round before anything observable differs."""
+        chain = build_chain(group, length=3, seed=17)
+        chain.members[0] = TamperingMember(chain.members[0], MODE_TAMPER_CIPHERTEXT)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        submissions = [
+            make_submission(group, chain, 1, f"user-{i}", recipient.public_bytes, b"\x0c" * 32)
+            for i in range(3)
+        ]
+        chain.accept_submissions(1, submissions)
+        result = chain.run_round(1)
+        assert result.status != ChainRoundResult.STATUS_DELIVERED
+        assert result.mailbox_messages == []  # nothing observable is released
+        assert result.blame_verdict.malicious_servers == ["server-0"]

@@ -1,0 +1,151 @@
+"""Tests for anytrust chain formation, the chain-length formula, and staggering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.randomness import PublicRandomnessBeacon
+from repro.errors import ConfigurationError
+from repro.mixnet.chain import (
+    chain_compromise_probability,
+    form_chains,
+    position_histogram,
+    required_chain_length,
+    server_load,
+    stagger_positions,
+    ChainTopology,
+)
+
+
+class TestChainLengthFormula:
+    def test_paper_example(self):
+        """§5.2.1: f = 0.2, 2^-64 target, n < 6000 → k ≈ 32-33."""
+        assert required_chain_length(0.2, 6000, 64) in (32, 33, 34)
+
+    def test_hundred_chains(self):
+        assert 30 <= required_chain_length(0.2, 100, 64) <= 32
+
+    def test_zero_malicious_fraction(self):
+        assert required_chain_length(0.0, 100, 64) == 1
+
+    def test_monotone_in_fraction(self):
+        lengths = [required_chain_length(f, 100, 64) for f in (0.1, 0.2, 0.3, 0.4)]
+        assert lengths == sorted(lengths)
+        assert lengths[0] < lengths[-1]
+
+    def test_logarithmic_in_chains(self):
+        small = required_chain_length(0.2, 10, 64)
+        large = required_chain_length(0.2, 10000, 64)
+        assert large - small <= 5  # grows only logarithmically with n
+
+    def test_security_parameter_satisfied(self):
+        for fraction in (0.1, 0.2, 0.3):
+            for num_chains in (10, 100, 1000):
+                length = required_chain_length(fraction, num_chains, 64)
+                assert chain_compromise_probability(fraction, length, num_chains) <= 2**-64
+
+    def test_minimality(self):
+        length = required_chain_length(0.2, 100, 64)
+        assert chain_compromise_probability(0.2, length - 1, 100) > 2**-64
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            required_chain_length(1.0, 100)
+        with pytest.raises(ConfigurationError):
+            required_chain_length(0.2, 0)
+        with pytest.raises(ConfigurationError):
+            required_chain_length(0.2, 100, -1)
+        with pytest.raises(ConfigurationError):
+            chain_compromise_probability(-0.1, 3, 5)
+        with pytest.raises(ConfigurationError):
+            chain_compromise_probability(0.1, 0, 5)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.9),
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=8, max_value=80),
+    )
+    @settings(max_examples=50)
+    def test_formula_always_meets_target(self, fraction, num_chains, security_bits):
+        length = required_chain_length(fraction, num_chains, security_bits)
+        assert chain_compromise_probability(fraction, length, num_chains) <= 2**-security_bits
+
+
+class TestFormChains:
+    def _servers(self, count):
+        return [f"server-{index}" for index in range(count)]
+
+    def test_shape(self):
+        chains = form_chains(self._servers(10), num_chains=10, chain_length=3)
+        assert len(chains) == 10
+        assert all(len(chain) == 3 for chain in chains)
+        assert [chain.chain_id for chain in chains] == list(range(10))
+
+    def test_no_duplicate_server_within_chain(self):
+        chains = form_chains(self._servers(10), num_chains=20, chain_length=5)
+        for chain in chains:
+            assert len(set(chain.servers)) == len(chain.servers)
+
+    def test_deterministic_from_beacon(self):
+        beacon = PublicRandomnessBeacon(seed=b"epoch-test")
+        one = form_chains(self._servers(8), 8, 3, beacon=beacon, epoch=4)
+        two = form_chains(self._servers(8), 8, 3, beacon=beacon, epoch=4)
+        assert [chain.servers for chain in one] == [chain.servers for chain in two]
+
+    def test_different_epochs_differ(self):
+        beacon = PublicRandomnessBeacon(seed=b"epoch-test")
+        one = form_chains(self._servers(8), 8, 3, beacon=beacon, epoch=1)
+        two = form_chains(self._servers(8), 8, 3, beacon=beacon, epoch=2)
+        assert [chain.servers for chain in one] != [chain.servers for chain in two]
+
+    def test_chain_length_cannot_exceed_servers(self):
+        with pytest.raises(ConfigurationError):
+            form_chains(self._servers(3), 2, 4)
+
+    def test_duplicate_server_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            form_chains(["a", "a", "b"], 2, 2)
+
+    def test_invalid_chain_count(self):
+        with pytest.raises(ConfigurationError):
+            form_chains(self._servers(4), 0, 2)
+
+    def test_load_roughly_balanced(self):
+        """With n = N each server should appear in about k chains (§5.2.1)."""
+        chains = form_chains(self._servers(20), num_chains=20, chain_length=5)
+        load = server_load(chains)
+        total = sum(load.values())
+        assert total == 20 * 5
+        assert max(load.values()) <= 3 * 5  # no server is pathologically overloaded
+
+    def test_topology_helpers(self):
+        topology = ChainTopology(chain_id=1, servers=["a", "b", "c"])
+        assert len(topology) == 3
+        assert topology.position_of("b") == 1
+        assert "c" in topology
+        assert "z" not in topology
+
+
+class TestStaggering:
+    def test_staggering_preserves_membership(self):
+        servers = [f"server-{index}" for index in range(6)]
+        chains = form_chains(servers, 6, 3, stagger=False)
+        staggered = stagger_positions(chains)
+        for before, after in zip(chains, staggered):
+            assert sorted(before.servers) == sorted(after.servers)
+
+    def test_staggering_spreads_positions(self):
+        """A server in many chains should not always sit at the same position."""
+        servers = [f"server-{index}" for index in range(5)]
+        chains = form_chains(servers, 15, 3, stagger=True)
+        histogram = position_histogram(chains)
+        for server, counts in histogram.items():
+            appearances = sum(counts)
+            if appearances >= 3:
+                assert max(counts) < appearances  # not always the same slot
+
+    def test_stagger_empty_input(self):
+        assert stagger_positions([]) == []
+
+    def test_position_histogram_empty(self):
+        assert position_histogram([]) == {}

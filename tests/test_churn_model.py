@@ -1,0 +1,73 @@
+"""Tests of the server-churn availability model (Figure 8)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.churn import analytic_failure_rate, simulate_failure_rate
+
+
+class TestAnalytic:
+    def test_paper_anchor_one_percent(self):
+        """Paper: ~27% of conversations fail at 1% churn (k ≈ 31-32)."""
+        assert analytic_failure_rate(0.01, 31) == pytest.approx(0.27, abs=0.03)
+
+    def test_paper_anchor_four_percent(self):
+        """Paper: ~70% at 4% churn."""
+        assert analytic_failure_rate(0.04, 31) == pytest.approx(0.72, abs=0.05)
+
+    def test_zero_churn(self):
+        assert analytic_failure_rate(0.0, 32) == 0.0
+
+    def test_full_churn(self):
+        assert analytic_failure_rate(1.0, 32) == 1.0
+
+    def test_monotone_in_churn(self):
+        rates = [analytic_failure_rate(rate, 32) for rate in (0.0, 0.01, 0.02, 0.04)]
+        assert rates == sorted(rates)
+
+    def test_monotone_in_chain_length(self):
+        assert analytic_failure_rate(0.01, 40) > analytic_failure_rate(0.01, 10)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SimulationError):
+            analytic_failure_rate(-0.1, 10)
+        with pytest.raises(SimulationError):
+            analytic_failure_rate(0.1, 0)
+
+
+class TestMonteCarlo:
+    def test_matches_analytic_roughly(self):
+        result = simulate_failure_rate(
+            num_servers=50,
+            churn_rate=0.02,
+            security_bits=16,
+            trials=10,
+            conversations_per_trial=200,
+            seed=3,
+        )
+        assert result.failure_rate == pytest.approx(result.analytic_rate, abs=0.15)
+
+    def test_zero_churn_never_fails(self):
+        result = simulate_failure_rate(
+            num_servers=30, churn_rate=0.0, security_bits=16, trials=3, conversations_per_trial=50
+        )
+        assert result.failure_rate == 0.0
+
+    def test_metadata_populated(self):
+        result = simulate_failure_rate(
+            num_servers=20, churn_rate=0.05, security_bits=8, trials=2, conversations_per_trial=20
+        )
+        assert result.num_chains == 20
+        assert result.trials == 2
+        assert 0.0 <= result.failure_rate <= 1.0
+
+    def test_invalid_servers(self):
+        with pytest.raises(SimulationError):
+            simulate_failure_rate(num_servers=0, churn_rate=0.1)
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(
+            num_servers=25, churn_rate=0.03, security_bits=8, trials=3,
+            conversations_per_trial=40, seed=9,
+        )
+        assert simulate_failure_rate(**kwargs).failure_rate == simulate_failure_rate(**kwargs).failure_rate

@@ -1,0 +1,63 @@
+"""Tests for conversation state and the directional key schedule."""
+
+from repro.client.conversation import Conversation
+from repro.crypto.keys import KeyPair
+
+
+class TestConversationKeys:
+    def test_both_sides_derive_matching_keys(self, group):
+        alice = KeyPair.generate(group)
+        bob = KeyPair.generate(group)
+        alice_view = Conversation.establish(group, alice, "bob", bob.public_bytes)
+        bob_view = Conversation.establish(group, bob, "alice", alice.public_bytes)
+        # Alice's "to partner" key must equal Bob's "to me" key and vice versa.
+        assert alice_view.key_to_partner() == bob_view.key_to_me()
+        assert bob_view.key_to_partner() == alice_view.key_to_me()
+
+    def test_directional_keys_differ(self, group):
+        alice = KeyPair.generate(group)
+        bob = KeyPair.generate(group)
+        conversation = Conversation.establish(group, alice, "bob", bob.public_bytes)
+        assert conversation.key_to_partner() != conversation.key_to_me()
+
+    def test_different_partners_different_keys(self, group):
+        alice = KeyPair.generate(group)
+        bob = KeyPair.generate(group)
+        charlie = KeyPair.generate(group)
+        with_bob = Conversation.establish(group, alice, "bob", bob.public_bytes)
+        with_charlie = Conversation.establish(group, alice, "charlie", charlie.public_bytes)
+        assert with_bob.key_to_partner() != with_charlie.key_to_partner()
+
+    def test_shared_secret_symmetric(self, group):
+        alice = KeyPair.generate(group)
+        bob = KeyPair.generate(group)
+        alice_view = Conversation.establish(group, alice, "bob", bob.public_bytes)
+        bob_view = Conversation.establish(group, bob, "alice", alice.public_bytes)
+        assert alice_view.shared_secret_bytes == bob_view.shared_secret_bytes
+
+
+class TestConversationState:
+    def test_establish_defaults(self, group):
+        alice = KeyPair.generate(group)
+        bob = KeyPair.generate(group)
+        conversation = Conversation.establish(group, alice, "bob", bob.public_bytes, established_round=4)
+        assert conversation.active
+        assert not conversation.partner_offline
+        assert conversation.established_round == 4
+        assert conversation.partner_name == "bob"
+
+    def test_mark_partner_offline(self, group):
+        alice = KeyPair.generate(group)
+        bob = KeyPair.generate(group)
+        conversation = Conversation.establish(group, alice, "bob", bob.public_bytes)
+        conversation.mark_partner_offline()
+        assert conversation.partner_offline
+        assert not conversation.active
+
+    def test_end(self, group):
+        alice = KeyPair.generate(group)
+        bob = KeyPair.generate(group)
+        conversation = Conversation.establish(group, alice, "bob", bob.public_bytes)
+        conversation.end()
+        assert not conversation.active
+        assert not conversation.partner_offline

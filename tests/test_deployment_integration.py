@@ -1,0 +1,139 @@
+"""Integration tests: full deployments running complete rounds."""
+
+import pytest
+
+from repro.client.user import ReceivedMessage
+from repro.errors import ConfigurationError
+from repro.coordinator.network import Deployment, DeploymentConfig
+
+from tests.conftest import make_deployment
+
+
+class TestDeploymentConstruction:
+    def test_defaults_follow_paper(self):
+        config = DeploymentConfig(num_servers=10, num_users=5, malicious_fraction=0.2, security_bits=8)
+        assert config.resolved_num_chains() == 10  # n = N (§5.2.1)
+        assert config.resolved_chain_length() >= 3
+
+    def test_chain_length_capped_by_servers(self):
+        config = DeploymentConfig(num_servers=3, num_users=2, malicious_fraction=0.2, security_bits=60)
+        assert config.resolved_chain_length() == 3
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(num_servers=0).validate()
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(num_users=-1).validate()
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(malicious_fraction=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(group_kind="rsa").validate()
+
+    def test_create_builds_everything(self, deployment):
+        assert len(deployment.chains) == 3
+        assert len(deployment.users) == 6
+        assert len(deployment.server_nodes) == 4
+        assert all(chain.public_keys is not None for chain in deployment.chains)
+        assert deployment.ell() == 2
+
+    def test_deterministic_with_seed(self):
+        one = make_deployment(seed=5)
+        two = make_deployment(seed=5)
+        assert [u.public_bytes for u in one.users] == [u.public_bytes for u in two.users]
+        assert [t.servers for t in one.topologies] == [t.servers for t in two.topologies]
+
+    def test_unknown_lookups(self, deployment):
+        with pytest.raises(ConfigurationError):
+            deployment.user("nobody")
+        with pytest.raises(ConfigurationError):
+            deployment.chain(99)
+
+
+class TestRounds:
+    def test_conversation_round_trip(self, deployment):
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        report = deployment.run_round(payloads={alice: b"hello bob", bob: b"hello alice"})
+        assert report.conversation_payloads(bob) == [b"hello bob"]
+        assert report.conversation_payloads(alice) == [b"hello alice"]
+        assert report.all_chains_delivered()
+
+    def test_uniform_mailbox_counts(self, deployment):
+        """Every user receives exactly ℓ messages whether or not they converse (§4.1)."""
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        report = deployment.run_round(payloads={alice: b"x", bob: b"y"})
+        ell = deployment.ell()
+        assert set(report.mailbox_counts.values()) == {ell}
+
+    def test_idle_users_receive_only_loopbacks(self, deployment):
+        report = deployment.run_round()
+        for user in deployment.users:
+            kinds = {message.kind for message in report.delivered[user.name]}
+            assert kinds == {ReceivedMessage.KIND_LOOPBACK}
+
+    def test_round_numbers_advance(self, deployment):
+        first = deployment.run_round()
+        second = deployment.run_round()
+        assert first.round_number == 1
+        assert second.round_number == 2
+
+    def test_multiple_conversations(self):
+        deployment = make_deployment(num_users=8, seed=3)
+        a, b = deployment.users[0].name, deployment.users[1].name
+        c, d = deployment.users[2].name, deployment.users[3].name
+        deployment.start_conversation(a, b)
+        deployment.start_conversation(c, d)
+        report = deployment.run_round(payloads={a: b"1", b: b"2", c: b"3", d: b"4"})
+        assert report.conversation_payloads(b) == [b"1"]
+        assert report.conversation_payloads(a) == [b"2"]
+        assert report.conversation_payloads(d) == [b"3"]
+        assert report.conversation_payloads(c) == [b"4"]
+
+    def test_end_conversation_reverts_to_loopbacks(self, deployment):
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        deployment.run_round(payloads={alice: b"hi", bob: b"hi"})
+        deployment.end_conversation(alice, bob)
+        report = deployment.run_round()
+        assert report.conversation_payloads(alice) == []
+        assert report.conversation_payloads(bob) == []
+        assert set(report.mailbox_counts.values()) == {deployment.ell()}
+
+    def test_empty_payload_defaults(self, deployment):
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        report = deployment.run_round()
+        assert report.conversation_payloads(bob) == [b""]
+
+    def test_total_submission_count(self, deployment):
+        report = deployment.run_round()
+        assert report.total_submissions == len(deployment.users) * deployment.ell()
+
+    def test_report_structure(self, deployment):
+        report = deployment.run_round()
+        assert set(report.delivered) == {user.name for user in deployment.users}
+        assert report.rejected_senders == []
+        assert report.dropped_unknown_recipients == 0
+
+    def test_without_cover_messages(self):
+        deployment = make_deployment(use_cover_messages=False)
+        report = deployment.run_round()
+        assert deployment._cover_store == {}
+        assert report.all_chains_delivered()
+
+
+class TestEd25519Integration:
+    """One full round on the real curve to cover the production configuration."""
+
+    def test_round_on_ed25519(self):
+        deployment = make_deployment(
+            num_servers=3, num_users=3, num_chains=1, chain_length=2, seed=1,
+            group_kind="ed25519", use_cover_messages=False,
+        )
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        report = deployment.run_round(payloads={alice: b"over the curve", bob: b"indeed"})
+        assert report.conversation_payloads(bob) == [b"over the curve"]
+        assert report.conversation_payloads(alice) == [b"indeed"]
+        assert set(report.mailbox_counts.values()) == {deployment.ell()}

@@ -1,0 +1,110 @@
+"""Unit and property tests for the modular-arithmetic helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import field
+from repro.errors import CryptoError
+
+P25519 = 2**255 - 19
+
+
+class TestInverseMod:
+    def test_small_known_inverse(self):
+        assert field.inverse_mod(3, 7) == 5
+
+    def test_inverse_roundtrip(self):
+        value = 123456789
+        inverse = field.inverse_mod(value, P25519)
+        assert (value * inverse) % P25519 == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(CryptoError):
+            field.inverse_mod(0, 17)
+
+    def test_negative_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            field.inverse_mod(3, -5)
+
+    @given(st.integers(min_value=1, max_value=P25519 - 1))
+    @settings(max_examples=30)
+    def test_inverse_property(self, value):
+        assert (value * field.inverse_mod(value, P25519)) % P25519 == 1
+
+
+class TestSqrtMod:
+    def test_square_roundtrip(self):
+        value = 987654321
+        square = (value * value) % P25519
+        root = field.sqrt_mod_p58(square, P25519)
+        assert (root * root) % P25519 == square
+
+    def test_requires_p_5_mod_8(self):
+        with pytest.raises(CryptoError):
+            field.sqrt_mod_p58(4, 7)
+
+    def test_non_residue_rejected(self):
+        # 2 is a non-residue mod p25519 (p ≡ 5 mod 8 and 2^((p-1)/2) = -1).
+        with pytest.raises(CryptoError):
+            field.sqrt_mod_p58(2, P25519)
+
+    @given(st.integers(min_value=1, max_value=2**64))
+    @settings(max_examples=30)
+    def test_sqrt_of_squares(self, value):
+        square = (value * value) % P25519
+        root = field.sqrt_mod_p58(square, P25519)
+        assert (root * root) % P25519 == square
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("prime", [2, 3, 5, 17, 101, 7919, 2**61 - 1])
+    def test_known_primes(self, prime):
+        assert field.is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", [0, 1, 4, 9, 561, 41041, 2**64])
+    def test_known_composites(self, composite):
+        assert not field.is_probable_prime(composite)
+
+    def test_ed25519_prime_is_prime(self):
+        assert field.is_probable_prime(P25519)
+
+
+class TestSafePrimes:
+    def test_safe_prime_structure(self):
+        prime = field.find_safe_prime(64)
+        assert field.is_probable_prime(prime)
+        assert field.is_probable_prime((prime - 1) // 2)
+        assert prime.bit_length() >= 63
+
+    def test_deterministic(self):
+        assert field.find_safe_prime(64) == field.find_safe_prime(64)
+
+    def test_different_seeds_differ(self):
+        assert field.find_safe_prime(64, seed="a") != field.find_safe_prime(64, seed="b")
+
+    def test_rejects_tiny_and_huge(self):
+        with pytest.raises(CryptoError):
+            field.find_safe_prime(4)
+        with pytest.raises(CryptoError):
+            field.find_safe_prime(1024)
+
+    def test_generator_has_prime_order(self):
+        prime = field.find_safe_prime(64)
+        order = (prime - 1) // 2
+        generator = field.find_generator_of_prime_subgroup(prime)
+        assert pow(generator, order, prime) == 1
+        assert generator not in (0, 1, prime - 1)
+
+
+class TestByteCodecs:
+    def test_roundtrip(self):
+        assert field.bytes_to_int(field.int_to_bytes(123456, 8)) == 123456
+
+    def test_fixed_width(self):
+        assert len(field.int_to_bytes(1, 32)) == 32
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, value):
+        assert field.bytes_to_int(field.int_to_bytes(value, 16)) == value

@@ -1,0 +1,150 @@
+"""Tests for the pure-Python edwards25519 group."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.group import Ed25519Group, Point, default_group
+from repro.errors import DecodingError
+
+GROUP = Ed25519Group()
+SCALARS = st.integers(min_value=1, max_value=GROUP.order - 1)
+
+
+class TestBasePoint:
+    def test_base_point_on_curve(self):
+        # -x^2 + y^2 = 1 + d x^2 y^2 must hold for the base point.
+        p = 2**255 - 19
+        x, y = GROUP.base().affine()
+        d = (-121665 * pow(121666, -1, p)) % p
+        assert (-x * x + y * y - 1 - d * x * x * y * y) % p == 0
+
+    def test_base_point_has_prime_order(self):
+        assert GROUP.scalar_mult(GROUP.base(), GROUP.order).is_identity()
+        assert not GROUP.scalar_mult(GROUP.base(), 2).is_identity()
+
+    def test_known_base_point_y(self):
+        p = 2**255 - 19
+        _, y = GROUP.base().affine()
+        assert y == (4 * pow(5, -1, p)) % p
+
+    def test_base_encoding_matches_rfc8032(self):
+        # The standard encoding of the edwards25519 base point.
+        assert GROUP.encode(GROUP.base()).hex() == (
+            "5866666666666666666666666666666666666666666666666666666666666666"
+        )
+
+
+class TestGroupLaws:
+    def test_identity_is_neutral(self):
+        point = GROUP.base_mult(12345)
+        assert GROUP.add(point, GROUP.identity()) == point
+        assert GROUP.add(GROUP.identity(), point) == point
+
+    def test_negation(self):
+        point = GROUP.base_mult(777)
+        assert GROUP.add(point, GROUP.neg(point)).is_identity()
+
+    def test_sub(self):
+        a = GROUP.base_mult(10)
+        b = GROUP.base_mult(4)
+        assert GROUP.sub(a, b) == GROUP.base_mult(6)
+
+    def test_associativity_small(self):
+        a, b, c = GROUP.base_mult(3), GROUP.base_mult(5), GROUP.base_mult(9)
+        assert GROUP.add(GROUP.add(a, b), c) == GROUP.add(a, GROUP.add(b, c))
+
+    def test_scalar_mult_matches_repeated_addition(self):
+        point = GROUP.base()
+        total = GROUP.identity()
+        for _ in range(7):
+            total = GROUP.add(total, point)
+        assert total == GROUP.scalar_mult(point, 7)
+
+    def test_scalar_mult_zero_is_identity(self):
+        assert GROUP.scalar_mult(GROUP.base(), 0).is_identity()
+
+    def test_sum(self):
+        points = [GROUP.base_mult(value) for value in (1, 2, 3, 4)]
+        assert GROUP.sum(points) == GROUP.base_mult(10)
+
+    @given(SCALARS, SCALARS)
+    @settings(max_examples=10, deadline=None)
+    def test_exponent_addition_property(self, a, b):
+        left = GROUP.add(GROUP.base_mult(a), GROUP.base_mult(b))
+        assert left == GROUP.base_mult((a + b) % GROUP.order)
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self):
+        a = GROUP.random_scalar()
+        b = GROUP.random_scalar()
+        assert GROUP.diffie_hellman(GROUP.base_mult(b), a) == GROUP.diffie_hellman(
+            GROUP.base_mult(a), b
+        )
+
+    def test_blinding_commutes(self):
+        # (x·B)^bsk1^bsk2 is independent of the blinding order — the property
+        # the AHS aggregate check relies on.
+        x, bsk1, bsk2 = (GROUP.random_scalar() for _ in range(3))
+        point = GROUP.base_mult(x)
+        one = GROUP.scalar_mult(GROUP.scalar_mult(point, bsk1), bsk2)
+        two = GROUP.scalar_mult(GROUP.scalar_mult(point, bsk2), bsk1)
+        assert one == two
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        point = GROUP.base_mult(GROUP.random_scalar())
+        assert GROUP.decode(GROUP.encode(point)) == point
+
+    def test_identity_roundtrip(self):
+        assert GROUP.decode(GROUP.encode(GROUP.identity())).is_identity()
+
+    def test_encoding_length(self):
+        assert len(GROUP.encode(GROUP.base())) == GROUP.element_size
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(DecodingError):
+            GROUP.decode(b"\x00" * 31)
+
+    def test_decode_rejects_out_of_range_y(self):
+        with pytest.raises(DecodingError):
+            GROUP.decode(b"\xff" * 32)
+
+    def test_scalar_codec_roundtrip(self):
+        scalar = GROUP.random_scalar()
+        assert GROUP.decode_scalar(GROUP.encode_scalar(scalar)) == scalar
+
+    @given(SCALARS)
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, scalar):
+        point = GROUP.base_mult(scalar)
+        assert GROUP.decode(GROUP.encode(point)) == point
+
+
+class TestSubgroupAndHashing:
+    def test_base_multiples_in_prime_subgroup(self):
+        assert GROUP.is_in_prime_subgroup(GROUP.base_mult(9999))
+
+    def test_hash_to_scalar_deterministic(self):
+        assert GROUP.hash_to_scalar(b"a", b"b") == GROUP.hash_to_scalar(b"a", b"b")
+
+    def test_hash_to_scalar_domain_separated(self):
+        assert GROUP.hash_to_scalar(b"ab", b"c") != GROUP.hash_to_scalar(b"a", b"bc")
+
+    def test_random_scalar_range(self):
+        for _ in range(20):
+            assert 1 <= GROUP.random_scalar() < GROUP.order
+
+    def test_default_group_singleton(self):
+        assert default_group() is default_group()
+
+    def test_point_hash_consistent_with_equality(self):
+        a = GROUP.base_mult(5)
+        b = GROUP.add(GROUP.base_mult(2), GROUP.base_mult(3))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_point_not_equal_to_other_types(self):
+        assert GROUP.base() != object()

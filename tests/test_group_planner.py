@@ -1,0 +1,115 @@
+"""Tests for the §9 group-conversation planner."""
+
+import hashlib
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.chain_selection import chains_for_user, intersection_chain
+from repro.client.group import GroupConversationPlanner
+from repro.errors import ChainSelectionError
+
+
+def synthetic_members(count, salt=b"group"):
+    return {
+        f"user-{index}": hashlib.sha256(salt + bytes([index])).digest() for index in range(count)
+    }
+
+
+def find_feasible_trio(num_chains, attempts=200):
+    """Search for three users whose pairwise chains are all distinct."""
+    planner = GroupConversationPlanner(num_chains)
+    for attempt in range(attempts):
+        members = synthetic_members(3, salt=b"trio-%d" % attempt)
+        if planner.is_supportable(members):
+            return members
+    return None
+
+
+class TestPairwiseChains:
+    def test_matches_chain_selection(self):
+        planner = GroupConversationPlanner(10)
+        members = synthetic_members(4)
+        chains = planner.pairwise_chains(members)
+        for (name_a, name_b), chain in chains.items():
+            assert chain == intersection_chain(members[name_a], members[name_b], 10)
+
+    def test_requires_two_members(self):
+        planner = GroupConversationPlanner(10)
+        with pytest.raises(ChainSelectionError):
+            planner.pairwise_chains(synthetic_members(1))
+
+    def test_invalid_chain_count(self):
+        with pytest.raises(ChainSelectionError):
+            GroupConversationPlanner(0)
+
+
+class TestFeasibility:
+    def test_two_member_group_always_supportable(self):
+        planner = GroupConversationPlanner(20)
+        assert planner.is_supportable(synthetic_members(2))
+
+    def test_feasible_trio_plan(self):
+        num_chains = 10
+        members = find_feasible_trio(num_chains)
+        assert members is not None, "no feasible trio found in the search budget"
+        planner = GroupConversationPlanner(num_chains)
+        plan = planner.plan(members)
+        # Every member talks to both others, each on a chain she is assigned to.
+        for name, key in members.items():
+            partners = plan.partners_of(name)
+            assert partners == sorted(other for other in members if other != name)
+            assigned = set(chains_for_user(key, num_chains))
+            assert set(plan.send_plan[name]) <= assigned
+        # Pair chains are symmetric accessors.
+        names = sorted(members)
+        assert plan.chain_for_pair(names[0], names[1]) == plan.chain_for_pair(names[1], names[0])
+
+    def test_loopback_chains_complement_plan(self):
+        num_chains = 10
+        members = find_feasible_trio(num_chains)
+        assert members is not None
+        planner = GroupConversationPlanner(num_chains)
+        plan = planner.plan(members)
+        for name, key in members.items():
+            loopbacks = planner.loopback_chains(members, name)
+            assigned = chains_for_user(key, num_chains)
+            assert len(loopbacks) + len(plan.send_plan[name]) == len(assigned)
+
+    def test_conflicting_group_detected_and_rejected(self):
+        """Members of the same chain-selection group collide on every chain."""
+        num_chains = 10
+        planner = GroupConversationPlanner(num_chains)
+        # Find three users that all share the same first chain (forced conflict):
+        from repro.client.chain_selection import assign_group, ell_for_chains
+
+        ell = ell_for_chains(num_chains)
+        same_group = {}
+        index = 0
+        while len(same_group) < 3:
+            key = hashlib.sha256(b"conflict-%d" % index).digest()
+            if assign_group(key, ell + 1) == 0:
+                same_group[f"user-{len(same_group)}"] = key
+            index += 1
+        assert not planner.is_supportable(same_group)
+        conflicts = planner.conflicts(same_group)
+        assert conflicts and all(len(partners) > 1 for _, _, partners in conflicts)
+        with pytest.raises(ChainSelectionError):
+            planner.plan(same_group)
+
+    @given(st.integers(min_value=2, max_value=200), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_any_pair_is_always_supportable(self, num_chains, seed):
+        """Two users always form a valid 'group' — the base one-to-one case."""
+        planner = GroupConversationPlanner(num_chains)
+        members = {
+            "a": hashlib.sha256(b"pair-a-%d" % seed).digest(),
+            "b": hashlib.sha256(b"pair-b-%d" % seed).digest(),
+        }
+        plan = planner.plan(members)
+        assert plan.partners_of("a") == ["b"]
+        assert plan.chain_for_pair("a", "b") == intersection_chain(
+            members["a"], members["b"], num_chains
+        )

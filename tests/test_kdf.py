@@ -1,0 +1,94 @@
+"""Tests for HKDF and the XRD key schedules."""
+
+import hashlib
+import hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import kdf
+from repro.errors import CryptoError
+
+
+class TestHKDF:
+    def test_rfc5869_test_case_1(self):
+        # RFC 5869 A.1: SHA-256, 22-byte IKM of 0x0b, 13-byte salt, 10-byte info.
+        ikm = b"\x0b" * 22
+        salt = bytes(range(13))
+        info = bytes(range(0xF0, 0xFA))
+        prk = kdf.hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = kdf.hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_extract_with_empty_salt(self):
+        prk = kdf.hkdf_extract(b"", b"input")
+        expected = hmac.new(b"\x00" * 32, b"input", hashlib.sha256).digest()
+        assert prk == expected
+
+    def test_expand_lengths(self):
+        prk = kdf.hkdf_extract(b"salt", b"secret")
+        for length in (1, 16, 32, 33, 64, 100):
+            assert len(kdf.hkdf_expand(prk, b"info", length)) == length
+
+    def test_expand_too_long_rejected(self):
+        with pytest.raises(CryptoError):
+            kdf.hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_expand_prefix_property(self):
+        prk = kdf.hkdf_extract(b"salt", b"secret")
+        assert kdf.hkdf_expand(prk, b"info", 64)[:32] == kdf.hkdf_expand(prk, b"info", 32)
+
+    @given(st.binary(min_size=0, max_size=64), st.binary(min_size=0, max_size=64))
+    @settings(max_examples=30)
+    def test_deterministic(self, salt, ikm):
+        assert kdf.hkdf_extract(salt, ikm) == kdf.hkdf_extract(salt, ikm)
+
+
+class TestDeriveKey:
+    def test_label_separation(self):
+        secret = b"shared secret"
+        assert kdf.derive_key(secret, b"label-a") != kdf.derive_key(secret, b"label-b")
+
+    def test_context_separation(self):
+        secret = b"shared secret"
+        assert kdf.derive_key(secret, b"l", b"ctx1") != kdf.derive_key(secret, b"l", b"ctx2")
+
+    def test_default_length(self):
+        assert len(kdf.derive_key(b"s", b"l")) == 32
+
+    def test_shared_key_from_element(self):
+        key = kdf.shared_key_from_element(b"\x01" * 32, b"label")
+        assert len(key) == 32
+
+
+class TestXRDKeySchedules:
+    def test_loopback_key_per_chain(self):
+        secret = b"\x42" * 32
+        assert kdf.loopback_key(secret, 1) != kdf.loopback_key(secret, 2)
+        assert kdf.loopback_key(secret, 1) == kdf.loopback_key(secret, 1)
+
+    def test_loopback_key_per_user(self):
+        assert kdf.loopback_key(b"\x01" * 32, 1) != kdf.loopback_key(b"\x02" * 32, 1)
+
+    def test_conversation_key_directional(self):
+        shared = b"\x07" * 32
+        to_alice = kdf.conversation_key(shared, b"alice-pk")
+        to_bob = kdf.conversation_key(shared, b"bob-pk")
+        assert to_alice != to_bob
+        assert len(to_alice) == 32
+
+    def test_nonce_from_round(self):
+        assert kdf.nonce_from_round(0) == b"\x00" * 12
+        assert kdf.nonce_from_round(1)[-1] == 1
+        assert len(kdf.nonce_from_round(2**32)) == 12
+
+    def test_nonce_rejects_negative(self):
+        with pytest.raises(CryptoError):
+            kdf.nonce_from_round(-1)

@@ -1,0 +1,109 @@
+"""Tests of the latency models against the paper's reported numbers and scaling laws."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.costmodel import CostModel
+from repro.simulation.latency import (
+    blame_latency,
+    messages_per_chain,
+    xrd_latency,
+    xrd_latency_pipeline,
+)
+
+
+class TestChainLoad:
+    def test_formula(self):
+        # 2M users, 100 chains, ℓ = 14 → 280k messages per chain.
+        assert messages_per_chain(2_000_000, 100) == pytest.approx(280_000)
+
+    def test_sqrt_scaling(self):
+        """Load per chain scales as ~1/√n (§4.2)."""
+        ratio = messages_per_chain(1_000_000, 100) / messages_per_chain(1_000_000, 400)
+        assert ratio == pytest.approx(math.sqrt(4), rel=0.15)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SimulationError):
+            messages_per_chain(-1, 10)
+        with pytest.raises(SimulationError):
+            messages_per_chain(10, 0)
+
+
+class TestPaperAnchors:
+    """Figure 4/5 headline numbers should be reproduced within ~10%."""
+
+    @pytest.mark.parametrize(
+        "num_users,expected",
+        [(1_000_000, 128.0), (2_000_000, 251.0), (4_000_000, 508.0), (8_000_000, 1009.0)],
+    )
+    def test_figure4_xrd_points(self, num_users, expected):
+        latency = xrd_latency(num_users, 100, malicious_fraction=0.2)
+        assert latency == pytest.approx(expected, rel=0.10)
+
+    def test_figure5_extrapolation_to_1000_servers(self):
+        latency = xrd_latency(2_000_000, 1000, malicious_fraction=0.2)
+        assert latency == pytest.approx(84.0, rel=0.15)
+
+    def test_latency_linear_in_users(self):
+        one = xrd_latency(1_000_000, 100)
+        two = xrd_latency(2_000_000, 100)
+        four = xrd_latency(4_000_000, 100)
+        assert two / one == pytest.approx(2.0, rel=0.1)
+        assert four / two == pytest.approx(2.0, rel=0.1)
+
+    def test_latency_scales_as_inverse_sqrt_servers(self):
+        """XRD latency ∝ √(2/N) (ignoring the weak k(N) dependence)."""
+        at_100 = xrd_latency(2_000_000, 100)
+        at_400 = xrd_latency(2_000_000, 400)
+        assert at_100 / at_400 == pytest.approx(2.0, rel=0.2)
+
+    def test_latency_grows_with_f(self):
+        latencies = [
+            xrd_latency(2_000_000, 100, malicious_fraction=f) for f in (0.1, 0.2, 0.3, 0.4)
+        ]
+        assert latencies == sorted(latencies)
+        # Figure 6 shape: f = 0.4 costs well under 2.5x the f = 0.1 latency at
+        # these parameters, but visibly more than f = 0.1.
+        assert 1.5 < latencies[-1] / latencies[0] < 3.5
+
+
+class TestPipelineModel:
+    def test_pipeline_close_to_closed_form(self):
+        closed = xrd_latency(200_000, 20, malicious_fraction=0.1, security_bits=20)
+        pipeline = xrd_latency_pipeline(200_000, 20, malicious_fraction=0.1, security_bits=20)
+        # The pipeline model includes contention, so it is at least as large as
+        # roughly the per-chain critical path but within a small factor.
+        assert pipeline >= 0.5 * closed
+        assert pipeline <= 10 * closed
+
+    def test_staggering_helps_or_is_neutral(self):
+        staggered = xrd_latency_pipeline(
+            100_000, 10, malicious_fraction=0.1, security_bits=16, stagger=True
+        )
+        aligned = xrd_latency_pipeline(
+            100_000, 10, malicious_fraction=0.1, security_bits=16, stagger=False
+        )
+        assert staggered <= aligned * 1.05
+
+
+class TestBlameLatency:
+    def test_linear_in_malicious_users(self):
+        small = blame_latency(5_000)
+        large = blame_latency(100_000)
+        assert large > small
+        # Slope is linear: doubling users roughly doubles the extra latency.
+        assert blame_latency(40_000) / blame_latency(20_000) == pytest.approx(2.0, rel=0.2)
+
+    def test_same_order_as_paper(self):
+        """Paper: ~13 s at 5k and ~150 s at 100k malicious users (same order here)."""
+        assert 1.0 < blame_latency(5_000) < 40.0
+        assert 30.0 < blame_latency(100_000) < 400.0
+
+    def test_zero_malicious_users(self):
+        assert blame_latency(0) < 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            blame_latency(-1)

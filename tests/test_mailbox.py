@@ -1,0 +1,104 @@
+"""Tests for mailboxes, mailbox servers, and the sharded hub."""
+
+import pytest
+
+from repro.errors import MailboxError
+from repro.mailbox import Mailbox, MailboxHub, MailboxServer
+from repro.mixnet.messages import MailboxMessage, MessageBody
+
+OWNER = b"\x01" * 32
+OTHER = b"\x02" * 32
+KEY = b"\x09" * 32
+
+
+def sealed(recipient=OWNER, round_number=1, content=b"hello"):
+    return MailboxMessage.seal(recipient, KEY, round_number, MessageBody.data(content))
+
+
+class TestMailbox:
+    def test_put_get(self):
+        mailbox = Mailbox(owner=OWNER)
+        mailbox.put(1, sealed())
+        assert len(mailbox.get(1)) == 1
+        assert mailbox.message_count(1) == 1
+
+    def test_wrong_owner_rejected(self):
+        mailbox = Mailbox(owner=OWNER)
+        with pytest.raises(MailboxError):
+            mailbox.put(1, sealed(recipient=OTHER))
+
+    def test_rounds_isolated(self):
+        mailbox = Mailbox(owner=OWNER)
+        mailbox.put(1, sealed())
+        assert mailbox.get(2) == []
+
+    def test_drain_removes(self):
+        mailbox = Mailbox(owner=OWNER)
+        mailbox.put(1, sealed())
+        assert len(mailbox.drain(1)) == 1
+        assert mailbox.get(1) == []
+
+    def test_get_returns_copy(self):
+        mailbox = Mailbox(owner=OWNER)
+        mailbox.put(1, sealed())
+        listing = mailbox.get(1)
+        listing.clear()
+        assert mailbox.message_count(1) == 1
+
+
+class TestMailboxServer:
+    def test_create_and_put(self):
+        server = MailboxServer("mb-0")
+        server.create_mailbox(OWNER)
+        server.put(1, sealed())
+        assert len(server.get(1, OWNER)) == 1
+        assert OWNER in server
+        assert server.owners() == [OWNER]
+
+    def test_unknown_recipient_rejected(self):
+        server = MailboxServer("mb-0")
+        with pytest.raises(MailboxError):
+            server.put(1, sealed())
+        with pytest.raises(MailboxError):
+            server.get(1, OWNER)
+
+    def test_create_idempotent(self):
+        server = MailboxServer("mb-0")
+        first = server.create_mailbox(OWNER)
+        second = server.create_mailbox(OWNER)
+        assert first is second
+
+
+class TestMailboxHub:
+    def test_sharding_is_stable(self):
+        hub = MailboxHub(num_servers=4)
+        hub.create_mailbox(OWNER)
+        hub.put(1, sealed())
+        assert len(hub.get(1, OWNER)) == 1
+
+    def test_all_shards_used(self):
+        hub = MailboxHub(num_servers=4)
+        owners = [bytes([index]) * 32 for index in range(1, 60)]
+        for owner in owners:
+            hub.create_mailbox(owner)
+        populated = [server for server in hub.servers if server.owners()]
+        assert len(populated) == 4
+
+    def test_deliver_batch_counts_unknown(self):
+        hub = MailboxHub(num_servers=2)
+        hub.create_mailbox(OWNER)
+        dropped = hub.deliver_batch(1, [sealed(), sealed(recipient=OTHER)])
+        assert dropped == 1
+        assert len(hub.get(1, OWNER)) == 1
+
+    def test_message_counts(self):
+        hub = MailboxHub()
+        hub.create_mailbox(OWNER)
+        hub.create_mailbox(OTHER)
+        hub.put(1, sealed())
+        counts = hub.message_counts(1, [OWNER, OTHER])
+        assert counts == {OWNER: 1, OTHER: 0}
+
+    def test_invalid_server_count(self):
+        with pytest.raises(MailboxError):
+            MailboxHub(num_servers=0)

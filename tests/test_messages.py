@@ -1,0 +1,139 @@
+"""Tests for the fixed-size wire formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import GROUP_ELEMENT_SIZE, PAYLOAD_SIZE
+from repro.crypto.nizk import prove_dlog
+from repro.errors import CryptoError, DecodingError
+from repro.mixnet import messages
+from repro.mixnet.messages import (
+    BatchEntry,
+    ClientSubmission,
+    MailboxMessage,
+    MessageBody,
+    batch_digest,
+    mailbox_message_size,
+    split_into_payload_chunks,
+)
+
+KEY = b"\x05" * 32
+RECIPIENT = b"\x09" * GROUP_ELEMENT_SIZE
+
+
+class TestMessageBody:
+    def test_data_roundtrip(self):
+        body = MessageBody.data(b"hi there")
+        decoded = MessageBody.decode(body.encode())
+        assert decoded.kind == messages.KIND_DATA
+        assert decoded.content == b"hi there"
+
+    def test_loopback_and_offline(self):
+        assert MessageBody.decode(MessageBody.loopback().encode()).is_loopback()
+        assert MessageBody.decode(MessageBody.offline_notice().encode()).is_offline_notice()
+
+    def test_encoded_size_fixed(self):
+        assert len(MessageBody.data(b"x").encode()) == PAYLOAD_SIZE
+        assert len(MessageBody.loopback().encode()) == PAYLOAD_SIZE
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CryptoError):
+            MessageBody(kind=99, content=b"").encode()
+
+    def test_empty_body_rejected_on_decode(self):
+        with pytest.raises(DecodingError):
+            MessageBody.decode(b"\x00\x00" + b"\x00" * 10)
+
+    @given(st.binary(min_size=0, max_size=PAYLOAD_SIZE - 3))
+    @settings(max_examples=30)
+    def test_data_roundtrip_property(self, content):
+        assert MessageBody.decode(MessageBody.data(content).encode()).content == content
+
+
+class TestMailboxMessage:
+    def test_seal_and_open(self):
+        message = MailboxMessage.seal(RECIPIENT, KEY, 3, MessageBody.data(b"hello"))
+        body = message.open(KEY, 3)
+        assert body is not None and body.content == b"hello"
+
+    def test_open_with_wrong_key(self):
+        message = MailboxMessage.seal(RECIPIENT, KEY, 3, MessageBody.data(b"hello"))
+        assert message.open(b"\x06" * 32, 3) is None
+
+    def test_open_with_wrong_round(self):
+        message = MailboxMessage.seal(RECIPIENT, KEY, 3, MessageBody.data(b"hello"))
+        assert message.open(KEY, 4) is None
+
+    def test_fixed_wire_size(self):
+        short = MailboxMessage.seal(RECIPIENT, KEY, 1, MessageBody.data(b"a"))
+        long = MailboxMessage.seal(RECIPIENT, KEY, 1, MessageBody.data(b"a" * 200))
+        assert len(short) == len(long) == mailbox_message_size()
+
+    def test_serialisation_roundtrip(self):
+        message = MailboxMessage.seal(RECIPIENT, KEY, 1, MessageBody.data(b"x"))
+        restored = MailboxMessage.from_bytes(message.to_bytes())
+        assert restored == message
+
+    def test_invalid_recipient_length(self):
+        with pytest.raises(CryptoError):
+            MailboxMessage.seal(b"short", KEY, 1, MessageBody.data(b"x"))
+
+    def test_from_bytes_too_short(self):
+        with pytest.raises(DecodingError):
+            MailboxMessage.from_bytes(b"tiny")
+
+
+class TestClientSubmission:
+    def test_wire_size_accounting(self, group):
+        secret = group.random_scalar()
+        proof = prove_dlog(group, group.base(), secret)
+        submission = ClientSubmission(
+            chain_id=2,
+            sender="alice",
+            dh_public=group.encode(group.base_mult(secret)),
+            ciphertext=b"c" * 100,
+            proof=proof,
+        )
+        assert submission.wire_size() == len(submission.to_bytes())
+        assert submission.wire_size() > 100 + 32
+
+    def test_cover_flag_default(self, group):
+        proof = prove_dlog(group, group.base(), group.random_scalar())
+        submission = ClientSubmission(1, "bob", b"\x00" * 32, b"ct", proof)
+        assert submission.cover is False
+
+
+class TestBatchDigest:
+    def test_order_independent(self, group):
+        entries = [
+            BatchEntry(group.base_mult(index + 1), bytes([index]) * 4) for index in range(4)
+        ]
+        assert batch_digest(group, entries) == batch_digest(group, list(reversed(entries)))
+
+    def test_content_sensitive(self, group):
+        entries = [BatchEntry(group.base_mult(1), b"aaaa")]
+        other = [BatchEntry(group.base_mult(1), b"aaab")]
+        assert batch_digest(group, entries) != batch_digest(group, other)
+
+    def test_empty_batch(self, group):
+        assert len(batch_digest(group, [])) == 32
+
+
+class TestChunking:
+    def test_small_message_single_chunk(self):
+        assert split_into_payload_chunks(b"hello") == [b"hello"]
+
+    def test_empty_message(self):
+        assert split_into_payload_chunks(b"") == [b""]
+
+    def test_large_message_splits_and_reassembles(self):
+        data = bytes(range(256)) * 5
+        chunks = split_into_payload_chunks(data)
+        assert len(chunks) > 1
+        assert b"".join(chunks) == data
+        assert all(len(chunk) <= PAYLOAD_SIZE - 3 for chunk in chunks)
+
+    def test_tiny_payload_size_rejected(self):
+        with pytest.raises(CryptoError):
+            split_into_payload_chunks(b"data", payload_size=3)

@@ -1,0 +1,32 @@
+"""Tests for the primitive microbenchmarks and the measured cost model."""
+
+from repro.crypto.group import ModPGroup
+from repro.simulation.microbench import measure_primitives, measured_cost_model
+
+
+class TestMicrobench:
+    def test_measurements_positive(self, group):
+        timings = measure_primitives(iterations=3, group=group)
+        assert timings.scalar_mult > 0
+        assert timings.aead_fixed >= 0
+        assert timings.aead_per_byte >= 0
+        assert timings.nizk_prove > 0
+        assert timings.nizk_verify > 0
+        assert timings.iterations == 3
+
+    def test_measured_cost_model(self, group):
+        model = measured_cost_model(iterations=3, group=group)
+        assert model.mix_per_message_per_hop > 0
+        assert "measured" in model.source
+
+    def test_nizk_more_expensive_than_scalar_mult(self, group):
+        timings = measure_primitives(iterations=5, group=group)
+        assert timings.nizk_prove > timings.scalar_mult
+
+    def test_python_substrate_slower_than_paper_testbed(self):
+        """Documents the substitution: our pure-Python Ed25519 is far slower than
+        the paper's Go/NaCl testbed constants (see DESIGN.md §3)."""
+        from repro.simulation.costmodel import CostModel
+
+        measured = measured_cost_model(iterations=3)
+        assert measured.scalar_mult > CostModel.paper_testbed().scalar_mult

@@ -1,0 +1,206 @@
+"""Tests for the Schnorr and Chaum-Pedersen NIZKs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.nizk import (
+    DleqProof,
+    SchnorrProof,
+    prove_dleq,
+    prove_dlog,
+    require_valid_dleq,
+    require_valid_dlog,
+    verify_dleq,
+    verify_dlog,
+)
+from repro.errors import ProofError
+
+
+class TestSchnorr:
+    def test_completeness(self, group):
+        secret = group.random_scalar()
+        proof = prove_dlog(group, group.base(), secret, b"ctx")
+        assert verify_dlog(group, group.base(), group.base_mult(secret), proof, b"ctx")
+
+    def test_wrong_statement_rejected(self, group):
+        secret = group.random_scalar()
+        proof = prove_dlog(group, group.base(), secret, b"ctx")
+        wrong_public = group.base_mult(group.random_scalar())
+        assert not verify_dlog(group, group.base(), wrong_public, proof, b"ctx")
+
+    def test_context_binding(self, group):
+        secret = group.random_scalar()
+        proof = prove_dlog(group, group.base(), secret, b"round-1")
+        public = group.base_mult(secret)
+        assert not verify_dlog(group, group.base(), public, proof, b"round-2")
+
+    def test_arbitrary_base(self, group):
+        base = group.base_mult(group.random_scalar())
+        secret = group.random_scalar()
+        proof = prove_dlog(group, base, secret, b"ctx")
+        assert verify_dlog(group, base, group.scalar_mult(base, secret), proof, b"ctx")
+
+    def test_tampered_response_rejected(self, group):
+        secret = group.random_scalar()
+        proof = prove_dlog(group, group.base(), secret)
+        bad = SchnorrProof(commitment=proof.commitment, response=(proof.response + 1) % group.order)
+        assert not verify_dlog(group, group.base(), group.base_mult(secret), bad)
+
+    def test_garbage_commitment_rejected(self, group):
+        secret = group.random_scalar()
+        proof = prove_dlog(group, group.base(), secret)
+        bad = SchnorrProof(commitment=b"\xff" * len(proof.commitment), response=proof.response)
+        assert not verify_dlog(group, group.base(), group.base_mult(secret), bad)
+
+    def test_require_helper(self, group):
+        secret = group.random_scalar()
+        proof = prove_dlog(group, group.base(), secret)
+        require_valid_dlog(group, group.base(), group.base_mult(secret), proof)
+        with pytest.raises(ProofError):
+            require_valid_dlog(group, group.base(), group.base_mult(secret + 1), proof)
+
+    def test_serialisation(self, group):
+        proof = prove_dlog(group, group.base(), group.random_scalar())
+        assert len(proof.to_bytes(group)) == len(proof.commitment) + group.scalar_size
+
+    @given(st.integers(min_value=1, max_value=2**60))
+    @settings(max_examples=20)
+    def test_completeness_property(self, group, secret):
+        secret %= group.order
+        if secret == 0:
+            secret = 1
+        proof = prove_dlog(group, group.base(), secret, b"p")
+        assert verify_dlog(group, group.base(), group.base_mult(secret), proof, b"p")
+
+
+class TestDleq:
+    def test_completeness(self, group):
+        secret = group.random_scalar()
+        base1 = group.base()
+        base2 = group.base_mult(group.random_scalar())
+        proof = prove_dleq(group, base1, base2, secret, b"ctx")
+        assert verify_dleq(
+            group,
+            base1,
+            group.scalar_mult(base1, secret),
+            base2,
+            group.scalar_mult(base2, secret),
+            proof,
+            b"ctx",
+        )
+
+    def test_different_exponents_rejected(self, group):
+        secret = group.random_scalar()
+        other = (secret + 1) % group.order
+        base1, base2 = group.base(), group.base_mult(group.random_scalar())
+        proof = prove_dleq(group, base1, base2, secret, b"ctx")
+        assert not verify_dleq(
+            group,
+            base1,
+            group.scalar_mult(base1, secret),
+            base2,
+            group.scalar_mult(base2, other),
+            proof,
+            b"ctx",
+        )
+
+    def test_context_binding(self, group):
+        secret = group.random_scalar()
+        base1, base2 = group.base(), group.base_mult(3)
+        proof = prove_dleq(group, base1, base2, secret, b"chain-0")
+        assert not verify_dleq(
+            group,
+            base1,
+            group.scalar_mult(base1, secret),
+            base2,
+            group.scalar_mult(base2, secret),
+            proof,
+            b"chain-1",
+        )
+
+    def test_swapped_statement_rejected(self, group):
+        secret = group.random_scalar()
+        base1, base2 = group.base(), group.base_mult(5)
+        proof = prove_dleq(group, base1, base2, secret, b"ctx")
+        assert not verify_dleq(
+            group,
+            base2,
+            group.scalar_mult(base2, secret),
+            base1,
+            group.scalar_mult(base1, secret),
+            proof,
+            b"ctx",
+        )
+
+    def test_tampered_proof_rejected(self, group):
+        secret = group.random_scalar()
+        base1, base2 = group.base(), group.base_mult(7)
+        proof = prove_dleq(group, base1, base2, secret)
+        bad = DleqProof(
+            commitment1=proof.commitment1,
+            commitment2=proof.commitment2,
+            response=(proof.response + 1) % group.order,
+        )
+        assert not verify_dleq(
+            group,
+            base1,
+            group.scalar_mult(base1, secret),
+            base2,
+            group.scalar_mult(base2, secret),
+            bad,
+        )
+
+    def test_garbage_commitments_rejected(self, group):
+        secret = group.random_scalar()
+        base1, base2 = group.base(), group.base_mult(7)
+        proof = prove_dleq(group, base1, base2, secret)
+        bad = DleqProof(commitment1=b"\xff" * 32, commitment2=proof.commitment2, response=proof.response)
+        assert not verify_dleq(
+            group,
+            base1,
+            group.scalar_mult(base1, secret),
+            base2,
+            group.scalar_mult(base2, secret),
+            bad,
+        )
+
+    def test_require_helper(self, group):
+        secret = group.random_scalar()
+        base1, base2 = group.base(), group.base_mult(11)
+        proof = prove_dleq(group, base1, base2, secret)
+        require_valid_dleq(
+            group,
+            base1,
+            group.scalar_mult(base1, secret),
+            base2,
+            group.scalar_mult(base2, secret),
+            proof,
+        )
+        with pytest.raises(ProofError):
+            require_valid_dleq(
+                group,
+                base1,
+                group.scalar_mult(base1, secret),
+                base2,
+                base2,
+                proof,
+            )
+
+    def test_serialisation(self, group):
+        proof = prove_dleq(group, group.base(), group.base_mult(2), group.random_scalar())
+        assert len(proof.to_bytes(group)) == 2 * group.element_size + group.scalar_size
+
+    def test_aggregate_blinding_statement(self, group):
+        """The exact statement AHS servers prove: Σ outputs = bsk · Σ inputs."""
+        blinding_secret = group.random_scalar()
+        inputs = [group.base_mult(group.random_scalar()) for _ in range(5)]
+        outputs = [group.scalar_mult(point, blinding_secret) for point in inputs]
+        input_aggregate = group.sum(inputs)
+        output_aggregate = group.sum(outputs)
+        base_point = group.base()
+        blinding_public = group.scalar_mult(base_point, blinding_secret)
+        proof = prove_dleq(group, input_aggregate, base_point, blinding_secret, b"mix")
+        assert verify_dleq(
+            group, input_aggregate, output_aggregate, base_point, blinding_public, proof, b"mix"
+        )

@@ -1,0 +1,105 @@
+"""Tests for the functional two-server PIR store (the Pung-style substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pung import TwoServerPIRStore, mailbox_label
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestStoreBasics:
+    def test_put_and_retrieve(self):
+        store = TwoServerPIRStore(row_size=64)
+        store.put(b"alice", b"message for alice")
+        store.put(b"bob", b"message for bob")
+        assert store.retrieve(b"alice").rstrip(b"\x00") == b"message for alice"
+        assert store.retrieve(b"bob").rstrip(b"\x00") == b"message for bob"
+
+    def test_overwrite(self):
+        store = TwoServerPIRStore(row_size=32)
+        store.put(b"alice", b"v1")
+        store.put(b"alice", b"v2")
+        assert len(store) == 1
+        assert store.retrieve(b"alice").rstrip(b"\x00") == b"v2"
+
+    def test_unknown_label(self):
+        store = TwoServerPIRStore()
+        with pytest.raises(ConfigurationError):
+            store.index_of(b"ghost")
+
+    def test_oversized_value_rejected(self):
+        store = TwoServerPIRStore(row_size=8)
+        with pytest.raises(ConfigurationError):
+            store.put(b"k", b"x" * 9)
+
+    def test_invalid_row_size(self):
+        with pytest.raises(ConfigurationError):
+            TwoServerPIRStore(row_size=0)
+
+
+class TestPIRProtocol:
+    def test_query_vectors_differ_in_exactly_one_bit(self):
+        store = TwoServerPIRStore(row_size=16)
+        for index in range(10):
+            store.put(b"key-%d" % index, b"value-%d" % index)
+        query = store.build_query(3, rng=random.Random(0))
+        difference = bytes(a ^ b for a, b in zip(query.vector_a, query.vector_b))
+        assert sum(bin(byte).count("1") for byte in difference) == 1
+        assert difference[3 // 8] == 1 << (3 % 8)
+
+    def test_each_query_scans_whole_table(self):
+        """The structural property that limits Pung: per-query work ∝ table size."""
+        store = TwoServerPIRStore(row_size=16)
+        for index in range(20):
+            store.put(b"key-%d" % index, b"v")
+        store.retrieve(b"key-7")
+        assert store.queries_served == 2  # two servers answered
+        assert store.rows_scanned == 2 * 20
+
+    def test_single_answer_reveals_nothing_definite(self):
+        """Each individual selection vector is uniformly random (independent of index)."""
+        store = TwoServerPIRStore(row_size=16)
+        for index in range(8):
+            store.put(b"key-%d" % index, b"v%d" % index)
+        rng = random.Random(7)
+        query_for_0 = store.build_query(0, rng=rng)
+        rng = random.Random(7)
+        query_for_5 = store.build_query(5, rng=rng)
+        # Server A's view (vector_a) is identical regardless of which row the
+        # client wants — it learns nothing from its half of the query.
+        assert query_for_0.vector_a == query_for_5.vector_a
+        assert query_for_0.vector_b != query_for_5.vector_b
+
+    def test_decode_requires_matching_sizes(self):
+        from repro.baselines.pung import PIRAnswer
+
+        with pytest.raises(SimulationError):
+            TwoServerPIRStore.decode(PIRAnswer(b"ab"), PIRAnswer(b"abc"))
+
+    def test_out_of_range_index(self):
+        store = TwoServerPIRStore()
+        store.put(b"k", b"v")
+        with pytest.raises(ConfigurationError):
+            store.build_query(5)
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=20)
+    def test_retrieval_correct_for_any_row(self, table_size, seed):
+        store = TwoServerPIRStore(row_size=24)
+        for index in range(table_size):
+            store.put(b"label-%d" % index, b"row-%d" % index)
+        rng = random.Random(seed)
+        target = rng.randrange(table_size)
+        value = store.retrieve(b"label-%d" % target, rng=rng)
+        assert value.rstrip(b"\x00") == b"row-%d" % target
+
+
+class TestMailboxLabels:
+    def test_labels_distinct_per_round(self):
+        assert mailbox_label(b"\x01" * 32, 1) != mailbox_label(b"\x01" * 32, 2)
+
+    def test_labels_distinct_per_recipient(self):
+        assert mailbox_label(b"\x01" * 32, 1) != mailbox_label(b"\x02" * 32, 1)

@@ -1,0 +1,49 @@
+"""RFC 8439 test vector and behaviour tests for Poly1305."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.poly1305 import poly1305_mac, poly1305_verify
+from repro.errors import CryptoError
+
+RFC_KEY = bytes.fromhex(
+    "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"
+)
+RFC_MESSAGE = b"Cryptographic Forum Research Group"
+RFC_TAG = bytes.fromhex("a8061dc1305136c6c22b8baf0c0127a9")
+
+
+class TestPoly1305:
+    def test_rfc8439_vector(self):
+        assert poly1305_mac(RFC_MESSAGE, RFC_KEY) == RFC_TAG
+
+    def test_verify_accepts_valid_tag(self):
+        assert poly1305_verify(RFC_MESSAGE, RFC_KEY, RFC_TAG)
+
+    def test_verify_rejects_modified_message(self):
+        assert not poly1305_verify(RFC_MESSAGE + b"!", RFC_KEY, RFC_TAG)
+
+    def test_verify_rejects_modified_tag(self):
+        bad_tag = bytes([RFC_TAG[0] ^ 1]) + RFC_TAG[1:]
+        assert not poly1305_verify(RFC_MESSAGE, RFC_KEY, bad_tag)
+
+    def test_verify_rejects_wrong_length_tag(self):
+        assert not poly1305_verify(RFC_MESSAGE, RFC_KEY, RFC_TAG[:8])
+
+    def test_tag_is_16_bytes(self):
+        assert len(poly1305_mac(b"", RFC_KEY)) == 16
+
+    def test_key_must_be_32_bytes(self):
+        with pytest.raises(CryptoError):
+            poly1305_mac(b"message", b"short key")
+
+    def test_different_keys_give_different_tags(self):
+        other_key = bytes(32)[:31] + b"\x01"
+        assert poly1305_mac(RFC_MESSAGE, RFC_KEY) != poly1305_mac(RFC_MESSAGE, other_key)
+
+    @given(st.binary(min_size=0, max_size=200), st.binary(min_size=32, max_size=32))
+    @settings(max_examples=30)
+    def test_verify_roundtrip_property(self, message, key):
+        tag = poly1305_mac(message, key)
+        assert poly1305_verify(message, key, tag)

@@ -1,0 +1,45 @@
+"""Tests for the simulated public randomness beacon."""
+
+from repro.crypto.randomness import PublicRandomnessBeacon
+
+
+class TestBeacon:
+    def test_deterministic_per_epoch(self):
+        beacon = PublicRandomnessBeacon(seed=b"seed")
+        assert beacon.value_for_epoch(3) == beacon.value_for_epoch(3)
+
+    def test_epochs_differ(self):
+        beacon = PublicRandomnessBeacon(seed=b"seed")
+        assert beacon.value_for_epoch(1) != beacon.value_for_epoch(2)
+
+    def test_seeds_differ(self):
+        assert (
+            PublicRandomnessBeacon(seed=b"a").value_for_epoch(1)
+            != PublicRandomnessBeacon(seed=b"b").value_for_epoch(1)
+        )
+
+    def test_everyone_derives_the_same_sample(self):
+        """Any participant holding the beacon output gets the same chain sample."""
+        population = [f"server-{index}" for index in range(20)]
+        one = PublicRandomnessBeacon(seed=b"s").sample_without_replacement(5, population, 7, "chains")
+        two = PublicRandomnessBeacon(seed=b"s").sample_without_replacement(5, population, 7, "chains")
+        assert one == two
+        assert len(set(one)) == 7
+
+    def test_purpose_separates_samples(self):
+        beacon = PublicRandomnessBeacon(seed=b"s")
+        population = list(range(100))
+        assert beacon.sample_without_replacement(1, population, 10, "a") != (
+            beacon.sample_without_replacement(1, population, 10, "b")
+        )
+
+    def test_shuffle_is_permutation(self):
+        beacon = PublicRandomnessBeacon(seed=b"s")
+        population = list(range(50))
+        shuffled = beacon.shuffled(2, population)
+        assert sorted(shuffled) == population
+        assert shuffled == beacon.shuffled(2, population)
+
+    def test_rng_for_epoch_reproducible(self):
+        beacon = PublicRandomnessBeacon(seed=b"s")
+        assert beacon.rng_for_epoch(1, "x").random() == beacon.rng_for_epoch(1, "x").random()

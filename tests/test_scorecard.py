@@ -1,0 +1,38 @@
+"""Tests for the machine-checkable reproduction scorecard."""
+
+import pytest
+
+from repro.analysis.scorecard import ScorecardEntry, build_scorecard, render_scorecard
+
+
+class TestScorecard:
+    def test_every_entry_within_tolerance(self):
+        """The repository's headline reproduction claim, asserted in one place."""
+        for entry in build_scorecard():
+            assert entry.within_tolerance, (
+                f"{entry.figure} / {entry.quantity}: paper={entry.paper_value} "
+                f"reproduced={entry.reproduced_value} (ratio {entry.ratio:.2f})"
+            )
+
+    def test_covers_every_figure(self):
+        figures_covered = {entry.figure for entry in build_scorecard()}
+        for figure in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"):
+            assert figure in figures_covered
+
+    def test_ratio_and_tolerance_logic(self):
+        exact = ScorecardEntry("figX", "q", 10.0, 10.0, 0.1)
+        assert exact.ratio == 1.0 and exact.within_tolerance
+        off = ScorecardEntry("figX", "q", 10.0, 15.0, 0.1)
+        assert not off.within_tolerance
+        zero_paper = ScorecardEntry("figX", "q", 0.0, 0.0, 0.1)
+        assert zero_paper.ratio == 1.0
+
+    def test_render(self):
+        text = render_scorecard()
+        assert "paper" in text and "reproduced" in text
+        assert text.count("\n") >= len(build_scorecard())
+
+    def test_render_with_explicit_entries(self):
+        entries = [ScorecardEntry("figX", "quantity", 1.0, 1.05, 0.1)]
+        text = render_scorecard(entries)
+        assert "figX" in text and "ok" in text

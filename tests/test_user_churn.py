@@ -1,0 +1,89 @@
+"""Tests for user churn and cover messages (§5.3.3)."""
+
+from repro.client.user import ReceivedMessage
+
+from tests.conftest import make_deployment
+
+
+class TestCoverMessages:
+    def test_cover_store_populated_each_round(self):
+        deployment = make_deployment()
+        deployment.run_round()
+        assert set(deployment._cover_store) == {user.name for user in deployment.users}
+
+    def test_offline_idle_user_covers_played(self):
+        """An idle user going offline is invisible: her covers keep her pattern intact."""
+        deployment = make_deployment()
+        target = deployment.users[2].name
+        deployment.run_round()
+        report = deployment.run_round(offline_users=[target])
+        assert target in report.used_cover_for
+        # Every *other* user still observes a full mailbox; the offline user's
+        # mailbox still received her loopback covers (observable uniformity).
+        mailbox_count = deployment.mailboxes.get(
+            report.round_number, deployment.user(target).public_bytes
+        )
+        assert len(mailbox_count) == deployment.ell()
+
+    def test_offline_partner_notifies_and_reverts(self):
+        deployment = make_deployment()
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        deployment.run_round(payloads={alice: b"hi", bob: b"hi"})
+        report = deployment.run_round(payloads={bob: b"still there?"}, offline_users=[alice])
+        notices = [
+            message
+            for message in report.delivered[bob]
+            if message.kind == ReceivedMessage.KIND_OFFLINE_NOTICE
+        ]
+        assert len(notices) == 1
+        assert not deployment.user(bob).conversation.active
+        # Next round both sides send only loopbacks; counts stay uniform.
+        follow_up = deployment.run_round()
+        assert set(follow_up.mailbox_counts.values()) == {deployment.ell()}
+        assert follow_up.conversation_payloads(bob) == []
+
+    def test_mailbox_counts_unchanged_by_offline_partner(self):
+        """The §5.3.3 motivation: without covers Bob's mailbox count would drop."""
+        deployment = make_deployment()
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        deployment.run_round(payloads={alice: b"hi", bob: b"hi"})
+        report = deployment.run_round(payloads={bob: b"?"}, offline_users=[alice])
+        online_counts = {
+            name: count for name, count in report.mailbox_counts.items() if name != alice
+        }
+        assert set(online_counts.values()) == {deployment.ell()}
+
+    def test_offline_without_covers_breaks_uniformity(self):
+        """Ablation: with cover messages disabled, churn becomes observable."""
+        deployment = make_deployment(use_cover_messages=False)
+        alice, bob = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(alice, bob)
+        deployment.run_round(payloads={alice: b"hi", bob: b"hi"})
+        report = deployment.run_round(payloads={bob: b"?"}, offline_users=[alice])
+        counts = {name: count for name, count in report.mailbox_counts.items() if name != alice}
+        # Bob's count differs from other online users' counts → the leak the
+        # paper's cover messages exist to prevent.
+        assert len(set(counts.values())) > 1
+
+    def test_user_offline_two_consecutive_rounds(self):
+        """Covers exist only for the first missed round; afterwards the user is simply absent."""
+        deployment = make_deployment()
+        target = deployment.users[3].name
+        deployment.run_round()
+        first = deployment.run_round(offline_users=[target])
+        assert target in first.used_cover_for
+        second = deployment.run_round(offline_users=[target])
+        assert target not in second.used_cover_for
+        assert target in second.offline_users
+
+    def test_returning_user_resumes_loopbacks(self):
+        deployment = make_deployment()
+        target = deployment.users[1].name
+        deployment.run_round()
+        deployment.run_round(offline_users=[target])
+        report = deployment.run_round()
+        kinds = {message.kind for message in report.delivered[target]}
+        assert kinds == {ReceivedMessage.KIND_LOOPBACK}
+        assert report.mailbox_counts[target] == deployment.ell()
