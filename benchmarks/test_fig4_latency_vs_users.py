@@ -8,6 +8,8 @@ slower at 1M / 2M / 4M; Stadium ≈ 2× faster.
 import pytest
 
 from repro.analysis import figures, render_figure
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.simulation.latency import messages_per_chain
 
 from benchmarks.conftest import save_result
 
@@ -35,6 +37,51 @@ def test_fig4_latency_vs_users(benchmark):
 
     # The gap to Pung grows with users; XRD grows linearly.
     assert pung[8_000_000] / xrd[8_000_000] > pung[1_000_000] / xrd[1_000_000]
+
+
+def test_fig4_engine_load_scaling(benchmark):
+    """Figure 4's x-axis on the real stack: per-chain load grows linearly in users.
+
+    Micro-scale replica of the figure's sweep through the new round engine
+    (staggered scheduling, parallel chain execution, batched crypto — the
+    default fast path): the measured messages-per-chain must match the
+    ``R = M·ℓ/n`` model the analytic curve is built on, and every round must
+    deliver.
+    """
+
+    def sweep():
+        loads = {}
+        for num_users in (6, 12, 24):
+            deployment = Deployment.create(
+                DeploymentConfig(
+                    num_servers=4,
+                    num_users=num_users,
+                    num_chains=4,
+                    chain_length=2,
+                    seed=4,
+                    group_kind="modp",
+                    execution_backend="parallel",
+                )
+            )
+            reports = deployment.run_rounds(
+                [deployment.round_spec(), deployment.round_spec()], staggered=True
+            )
+            deployment.close()
+            assert all(report.all_chains_delivered() for report in reports)
+            per_chain = reports[-1].total_submissions / deployment.num_chains
+            loads[num_users] = per_chain
+            assert per_chain == pytest.approx(
+                messages_per_chain(num_users, deployment.num_chains)
+            )
+        return loads
+
+    loads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert loads[24] == pytest.approx(4 * loads[6])
+    save_result(
+        "fig4_engine_load_scaling",
+        "Measured messages/chain on the round engine (4 chains, staggered+parallel): "
+        + ", ".join(f"{users} users -> {load:.1f}" for users, load in loads.items()),
+    )
 
 
 def test_headline_comparison(benchmark):

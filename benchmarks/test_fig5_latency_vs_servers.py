@@ -10,7 +10,8 @@ import math
 import pytest
 
 from repro.analysis import figures, render_figure
-from repro.simulation.latency import xrd_latency, xrd_latency_pipeline
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.simulation.latency import messages_per_chain, xrd_latency, xrd_latency_pipeline
 
 from benchmarks.conftest import save_result
 
@@ -32,6 +33,50 @@ def test_fig5_latency_vs_servers(benchmark):
     # XRD latency is monotonically decreasing in the number of servers.
     ordered = [xrd[n] for n in servers]
     assert ordered == sorted(ordered, reverse=True)
+
+
+def test_fig5_engine_horizontal_scaling(benchmark):
+    """Figure 5's mechanism on the real stack: more chains → less load per chain.
+
+    Micro-scale replica of the figure's server sweep through the new round
+    engine (staggered scheduling, parallel chain execution, batched crypto):
+    with users fixed, the measured per-chain load must fall as chains are
+    added, following the ``R = M·ℓ/n`` model behind the analytic √(2/N)
+    curve, and every configuration must deliver.
+    """
+
+    def sweep():
+        loads = {}
+        for num_chains in (2, 4, 8):
+            deployment = Deployment.create(
+                DeploymentConfig(
+                    num_servers=8,
+                    num_users=16,
+                    num_chains=num_chains,
+                    chain_length=2,
+                    seed=5,
+                    group_kind="modp",
+                    execution_backend="parallel",
+                )
+            )
+            reports = deployment.run_rounds(
+                [deployment.round_spec(), deployment.round_spec()], staggered=True
+            )
+            deployment.close()
+            assert all(report.all_chains_delivered() for report in reports)
+            per_chain = reports[-1].total_submissions / deployment.num_chains
+            loads[num_chains] = per_chain
+            assert per_chain == pytest.approx(messages_per_chain(16, num_chains))
+        return loads
+
+    loads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Per-chain load falls as chains are added — the horizontal-scaling claim.
+    assert loads[2] > loads[4] > loads[8]
+    save_result(
+        "fig5_engine_horizontal_scaling",
+        "Measured messages/chain on the round engine (16 users, staggered+parallel): "
+        + ", ".join(f"{chains} chains -> {load:.1f}" for chains, load in loads.items()),
+    )
 
 
 def test_fig5_pipeline_model_agrees(benchmark):

@@ -3,10 +3,11 @@
 This package is a from-scratch Python reproduction of *XRD: Scalable
 Messaging System with Cryptographic Privacy* (Kwon, Lu, Devadas — NSDI 2020).
 It contains the full protocol stack (crypto substrate, parallel mix chains
-with the aggregate hybrid shuffle, mailboxes, client protocol), a calibrated
-performance model used to regenerate the paper's evaluation figures, and cost
-models of the baseline systems the paper compares against (Atom, Pung,
-Stadium).
+with the aggregate hybrid shuffle, mailboxes, client protocol), a staged
+round engine with pluggable execution backends and the paper's stagger
+optimisation (:mod:`repro.engine`), a calibrated performance model used to
+regenerate the paper's evaluation figures, and cost models of the baseline
+systems the paper compares against (Atom, Pung, Stadium).
 
 Quickstart::
 

@@ -1,5 +1,11 @@
 """Deployment construction and round orchestration."""
 
-from repro.coordinator.network import Deployment, DeploymentConfig, MixServerNode, RoundReport
+from repro.coordinator.network import (
+    Deployment,
+    DeploymentConfig,
+    MixServerNode,
+    RoundReport,
+    RoundSpec,
+)
 
-__all__ = ["Deployment", "DeploymentConfig", "MixServerNode", "RoundReport"]
+__all__ = ["Deployment", "DeploymentConfig", "MixServerNode", "RoundReport", "RoundSpec"]

@@ -10,6 +10,13 @@ drives communication rounds:
 3. the recovered mailbox messages are delivered to the mailbox servers, and
 4. users fetch and decrypt their mailboxes.
 
+Round execution itself lives in :mod:`repro.engine`: the deployment is a
+thin facade that builds a :class:`~repro.engine.round_engine.RoundEngine`
+with the configured execution backend and delegates
+:meth:`Deployment.run_round` to it.  Chains may therefore be mixed serially
+or concurrently, and consecutive rounds may be staggered
+(:meth:`Deployment.run_rounds`), without any change to the protocol code.
+
 The deployment is an in-process simulation: "sending" is a method call.  The
 protocol logic, message formats, and cryptography are exactly those a
 networked implementation would use; only the transport is elided (see
@@ -19,21 +26,29 @@ DESIGN.md §3).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.client.chain_selection import ell_for_chains
-from repro.client.user import ChainKeysView, ReceivedMessage, User
+from repro.client.user import ChainKeysView, User
 from repro.crypto.group import Ed25519Group, ModPGroup
 from repro.crypto.keys import KeyDirectory, KeyPair
 from repro.crypto.randomness import PublicRandomnessBeacon
+from repro.engine import (
+    ExecutionBackend,
+    RoundEngine,
+    RoundReport,
+    RoundSpec,
+    StaggeredScheduler,
+    make_backend,
+)
 from repro.errors import ConfigurationError, ProtocolError
 from repro.mailbox import MailboxHub
-from repro.mixnet.ahs import ChainMember, ChainRoundResult, MixChain
+from repro.mixnet.ahs import ChainMember, MixChain
 from repro.mixnet.chain import ChainTopology, form_chains, required_chain_length
 from repro.mixnet.messages import ClientSubmission
 
-__all__ = ["DeploymentConfig", "MixServerNode", "Deployment", "RoundReport"]
+__all__ = ["DeploymentConfig", "MixServerNode", "Deployment", "RoundReport", "RoundSpec"]
 
 
 @dataclass
@@ -58,6 +73,11 @@ class DeploymentConfig:
     use_cover_messages: bool = True
     group_kind: str = "ed25519"
     modp_bits: int = 96
+    #: How the mix stage executes the per-chain work: ``"serial"`` (default,
+    #: reference semantics) or ``"parallel"`` (chains on a thread pool).
+    execution_backend: str = "serial"
+    #: Worker cap for the parallel backend (``None`` → CPU count).
+    max_workers: Optional[int] = None
 
     def resolved_num_chains(self) -> int:
         return self.num_chains if self.num_chains is not None else self.num_servers
@@ -83,6 +103,10 @@ class DeploymentConfig:
             raise ConfigurationError("malicious fraction must be in [0, 1)")
         if self.group_kind not in ("ed25519", "modp"):
             raise ConfigurationError("group_kind must be 'ed25519' or 'modp'")
+        if self.execution_backend not in ("serial", "parallel"):
+            raise ConfigurationError("execution_backend must be 'serial' or 'parallel'")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError("max_workers must be positive when set")
 
 
 class MixServerNode:
@@ -109,32 +133,6 @@ class MixServerNode:
 
     def chains(self) -> List[int]:
         return list(self.chain_members)
-
-
-@dataclass
-class RoundReport:
-    """Everything observable about one completed round."""
-
-    round_number: int
-    delivered: Dict[str, List[ReceivedMessage]] = field(default_factory=dict)
-    mailbox_counts: Dict[str, int] = field(default_factory=dict)
-    chain_results: Dict[int, ChainRoundResult] = field(default_factory=dict)
-    offline_users: List[str] = field(default_factory=list)
-    used_cover_for: List[str] = field(default_factory=list)
-    rejected_senders: List[str] = field(default_factory=list)
-    total_submissions: int = 0
-    dropped_unknown_recipients: int = 0
-
-    def conversation_payloads(self, user_name: str) -> List[bytes]:
-        """Convenience: the conversation payloads delivered to ``user_name``."""
-        return [
-            message.content
-            for message in self.delivered.get(user_name, [])
-            if message.kind == ReceivedMessage.KIND_CONVERSATION
-        ]
-
-    def all_chains_delivered(self) -> bool:
-        return all(result.delivered for result in self.chain_results.values())
 
 
 class Deployment:
@@ -166,6 +164,9 @@ class Deployment:
         self._chains_by_id = {chain.chain_id: chain for chain in chains}
         self._cover_store: Dict[str, List[ClientSubmission]] = {}
         self._begun_rounds: Dict[int, Dict[int, object]] = {}
+        self.engine = RoundEngine(
+            self, backend=make_backend(config.execution_backend, config.max_workers)
+        )
 
     # -- construction -----------------------------------------------------------
 
@@ -296,6 +297,21 @@ class Deployment:
             )
         return views
 
+    def round_spec(
+        self,
+        payloads: Optional[Dict[str, bytes]] = None,
+        offline_users: Optional[Iterable[str]] = None,
+        extra_submissions: Optional[List[ClientSubmission]] = None,
+        retry_after_blame: bool = True,
+    ) -> RoundSpec:
+        """Normalise ``run_round``-style arguments into a :class:`RoundSpec`."""
+        return RoundSpec(
+            payloads=dict(payloads or {}),
+            offline_users=set(offline_users or []),
+            extra_submissions=list(extra_submissions or []),
+            retry_after_blame=retry_after_blame,
+        )
+
     def run_round(
         self,
         payloads: Optional[Dict[str, bytes]] = None,
@@ -303,7 +319,7 @@ class Deployment:
         extra_submissions: Optional[List[ClientSubmission]] = None,
         retry_after_blame: bool = True,
     ) -> RoundReport:
-        """Execute one full communication round.
+        """Execute one full communication round through the round engine.
 
         ``payloads`` maps user names to the conversation payload they want to
         send this round (users in a conversation with no payload send an
@@ -313,69 +329,39 @@ class Deployment:
         in their place (§5.3.3).  ``extra_submissions`` lets adversarial
         tests inject arbitrary (e.g., malformed) submissions.
         """
-        payloads = payloads or {}
-        offline = set(offline_users or [])
-        round_number = self.next_round
-        self.next_round += 1
+        spec = self.round_spec(payloads, offline_users, extra_submissions, retry_after_blame)
+        return self.engine.execute_round(spec)
 
-        current_views = self.chain_keys_view(round_number)
-        next_views = (
-            self.chain_keys_view(round_number + 1) if self.config.use_cover_messages else {}
-        )
+    def run_rounds(
+        self,
+        specs: Sequence[Union[RoundSpec, Dict[str, bytes]]],
+        staggered: bool = False,
+    ) -> List[RoundReport]:
+        """Execute several rounds, optionally pipelined with the stagger trick.
 
-        report = RoundReport(round_number=round_number)
-        per_chain: Dict[int, List[ClientSubmission]] = {chain.chain_id: [] for chain in self.chains}
+        Each spec is either a :class:`RoundSpec` or a plain payload dict
+        (shorthand for a round where everyone is online).  With
+        ``staggered=True`` round *r + 1*'s submission collection overlaps
+        round *r*'s mixing (§5.2.2); reports are bit-identical either way
+        under a fixed seed.
+        """
+        normalised = [
+            spec if isinstance(spec, RoundSpec) else self.round_spec(payloads=spec)
+            for spec in specs
+        ]
+        if staggered:
+            return StaggeredScheduler(self.engine).run_rounds(normalised)
+        return self.engine.execute_rounds(normalised)
 
-        for user in self.users:
-            if user.name in offline:
-                report.offline_users.append(user.name)
-                covers = self._cover_store.pop(user.name, None)
-                if covers is not None:
-                    report.used_cover_for.append(user.name)
-                    for submission in covers:
-                        per_chain[submission.chain_id].append(submission)
-                    # The cover set carried an offline notice to the partner
-                    # (§5.3.3): from the user's own point of view the
-                    # conversation is over until re-established out of band.
-                    user.end_conversation()
-                continue
-            submissions = user.build_round_submissions(
-                round_number,
-                self.num_chains,
-                current_views,
-                payload=payloads.get(user.name),
-            )
-            for submission in submissions:
-                per_chain[submission.chain_id].append(submission)
-            if self.config.use_cover_messages:
-                self._cover_store[user.name] = user.build_cover_submissions(
-                    round_number + 1, self.num_chains, next_views
-                )
+    def use_backend(self, backend: ExecutionBackend) -> None:
+        """Swap the mix-stage execution backend (closing the previous one)."""
+        self.engine.backend.close()
+        self.engine.backend = backend
 
-        for submission in extra_submissions or []:
-            if submission.chain_id in per_chain:
-                per_chain[submission.chain_id].append(submission)
+    def close(self) -> None:
+        """Release engine resources (thread pools).
 
-        report.total_submissions = sum(len(batch) for batch in per_chain.values())
-
-        for chain in self.chains:
-            submissions = per_chain[chain.chain_id]
-            _, rejected = chain.accept_submissions(round_number, submissions)
-            report.rejected_senders.extend(rejected)
-            result = chain.run_round(round_number, retry_after_blame=retry_after_blame)
-            report.chain_results[chain.chain_id] = result
-            report.rejected_senders.extend(
-                sender for sender in result.rejected_senders if sender not in report.rejected_senders
-            )
-            if result.delivered:
-                report.dropped_unknown_recipients += self.mailboxes.deliver_batch(
-                    round_number, result.mailbox_messages
-                )
-
-        for user in self.users:
-            if user.name in offline:
-                continue
-            inbox = self.mailboxes.get(round_number, user.public_bytes)
-            report.mailbox_counts[user.name] = len(inbox)
-            report.delivered[user.name] = user.decrypt_mailbox(round_number, inbox, self.num_chains)
-        return report
+        The deployment stays usable: a parallel backend lazily rebuilds its
+        pool on the next round.
+        """
+        self.engine.close()

@@ -27,7 +27,15 @@ from typing import Iterable, List, Optional, Sequence
 from repro.crypto import field
 from repro.errors import ConfigurationError, DecodingError
 
-__all__ = ["Point", "Ed25519Group", "ModPGroup", "default_group"]
+__all__ = [
+    "Point",
+    "Ed25519Group",
+    "ModPGroup",
+    "default_group",
+    "multi_scalar_mult",
+    "multi_scalar_accumulate",
+    "scalar_mult_batch",
+]
 
 # --- edwards25519 parameters (RFC 8032) -------------------------------------
 
@@ -120,6 +128,111 @@ def _recover_x(y: int, sign: int) -> int:
 
 _BASE_POINT = _point_from_affine(_recover_x(_BASE_Y, 0), _BASE_Y)
 
+# --- fixed-base and fixed-point precomputation ------------------------------
+#
+# The hot paths of the protocol multiply a small set of long-lived points
+# (the base point, chain mixing/blinding keys, users' DH keys during proof
+# verification) by fresh scalars thousands of times per round.  Three layers
+# of precomputation speed this up without changing any observable output:
+#
+# * a comb table for the base point: ``_BASE_COMB[j][d] = d · 16^j · B`` so a
+#   base multiplication is ~63 additions and no doublings;
+# * per-point 4-bit window tables (``[P, 2P, …, 15P]``), cached by object
+#   identity for points that are reused across calls;
+# * Straus interleaving for Σ sᵢ·Pᵢ, sharing one doubling chain between all
+#   terms (used by NIZK verification, which checks ``s·G − c·P == R``).
+
+_WINDOW_BITS = 4
+_WINDOW_SIZE = 1 << _WINDOW_BITS  # 16
+_SCALAR_WINDOWS = (253 + _WINDOW_BITS - 1) // _WINDOW_BITS  # 64 windows cover any scalar < L
+
+_BASE_COMB: Optional[List[List[Point]]] = None
+
+#: Identity-keyed cache of window tables for reused points, plus a probation
+#: dict of points seen exactly once.  A table is only *stored* on a point's
+#: second sighting, so the flood of one-shot ephemeral DH keys that flows
+#: through mixing and proof verification cannot evict the genuinely hot
+#: entries (chain mixing keys, members' base points).  Both dicts keep a
+#: strong reference to the point so a recycled ``id()`` can never alias a
+#: different point; both are bounded and evicted FIFO.
+_WINDOW_TABLE_CACHE: "dict[int, tuple]" = {}
+_WINDOW_SEEN_ONCE: "dict[int, Point]" = {}
+_WINDOW_TABLE_CACHE_LIMIT = 512
+
+_BASE_WINDOW_TABLE: Optional[List[Point]] = None
+
+
+def _evict_one(cache: dict) -> None:
+    try:  # benign race: concurrent mix threads may evict the same key
+        cache.pop(next(iter(cache)), None)
+    except (RuntimeError, StopIteration):
+        pass
+
+
+def _window_table(point: Point) -> List[Point]:
+    """Return ``[1·P, 2·P, …, 15·P]``, cached for points that are reused."""
+    global _BASE_WINDOW_TABLE
+    if point is _BASE_POINT:  # pinned: the hottest point in every verification
+        if _BASE_WINDOW_TABLE is None:
+            _BASE_WINDOW_TABLE = _build_window_table(point)
+        return _BASE_WINDOW_TABLE
+    key = id(point)
+    cached = _WINDOW_TABLE_CACHE.get(key)
+    if cached is not None and cached[0] is point:
+        return cached[1]
+    table = _build_window_table(point)
+    seen = _WINDOW_SEEN_ONCE.get(key)
+    if seen is not None and seen is point:
+        _WINDOW_SEEN_ONCE.pop(key, None)
+        if len(_WINDOW_TABLE_CACHE) >= _WINDOW_TABLE_CACHE_LIMIT:
+            _evict_one(_WINDOW_TABLE_CACHE)
+        _WINDOW_TABLE_CACHE[key] = (point, table)
+    else:
+        if len(_WINDOW_SEEN_ONCE) >= _WINDOW_TABLE_CACHE_LIMIT:
+            _evict_one(_WINDOW_SEEN_ONCE)
+        _WINDOW_SEEN_ONCE[key] = point
+    return table
+
+
+def _build_window_table(point: Point) -> List[Point]:
+    table = [point]
+    for _ in range(_WINDOW_SIZE - 2):
+        table.append(_edwards_add(table[-1], point))
+    return table
+
+
+def _scalar_windows(scalar: int) -> List[int]:
+    """Split a reduced scalar into ``_SCALAR_WINDOWS`` 4-bit digits, LSB first."""
+    return [(scalar >> (_WINDOW_BITS * j)) & (_WINDOW_SIZE - 1) for j in range(_SCALAR_WINDOWS)]
+
+
+def _base_comb() -> List[List[Point]]:
+    """Build (once) the fixed-base comb table ``comb[j][d] = d · 16^j · B``."""
+    global _BASE_COMB
+    if _BASE_COMB is None:
+        comb: List[List[Point]] = []
+        row_base = _BASE_POINT
+        for _ in range(_SCALAR_WINDOWS):
+            row = [row_base]
+            for _ in range(_WINDOW_SIZE - 2):
+                row.append(_edwards_add(row[-1], row_base))
+            comb.append(row)
+            for _ in range(_WINDOW_BITS):
+                row_base = _edwards_double(row_base)
+        _BASE_COMB = comb
+    return _BASE_COMB
+
+
+def _windowed_mult(point: Point, digits: List[int]) -> Point:
+    """Multiply ``point`` by the scalar whose 4-bit digits (LSB first) are given."""
+    table = _window_table(point)
+    result = _IDENTITY
+    for digit in reversed(digits):
+        result = _edwards_double(_edwards_double(_edwards_double(_edwards_double(result))))
+        if digit:
+            result = _edwards_add(result, table[digit - 1])
+    return result
+
 
 class Ed25519Group:
     """The prime-order subgroup of edwards25519 used for all XRD DH operations."""
@@ -193,7 +306,20 @@ class Ed25519Group:
         return total
 
     def scalar_mult(self, point: Point, scalar: int) -> Point:
-        """Return ``scalar * point`` using a simple double-and-add ladder."""
+        """Return ``scalar * point`` using a 4-bit fixed-window ladder.
+
+        Multiplications by the standard base point are routed to the
+        precomputed comb table of :meth:`base_mult`.
+        """
+        scalar %= self.order
+        if scalar == 0 or point.is_identity():
+            return _IDENTITY
+        if point is _BASE_POINT or point == _BASE_POINT:
+            return self.base_mult(scalar)
+        return _windowed_mult(point, _scalar_windows(scalar))
+
+    def scalar_mult_slow(self, point: Point, scalar: int) -> Point:
+        """Reference double-and-add ladder (kept for tests and benchmarks)."""
         scalar %= self.order
         if scalar == 0 or point.is_identity():
             return _IDENTITY
@@ -207,8 +333,57 @@ class Ed25519Group:
         return result
 
     def base_mult(self, scalar: int) -> Point:
-        """Return ``scalar * B`` for the standard base point."""
-        return self.scalar_mult(_BASE_POINT, scalar)
+        """Return ``scalar * B`` via the fixed-base comb table (additions only)."""
+        scalar %= self.order
+        if scalar == 0:
+            return _IDENTITY
+        comb = _base_comb()
+        result = _IDENTITY
+        index = 0
+        while scalar:
+            digit = scalar & (_WINDOW_SIZE - 1)
+            if digit:
+                result = _edwards_add(result, comb[index][digit - 1])
+            scalar >>= _WINDOW_BITS
+            index += 1
+        return result
+
+    def scalar_mult_batch(self, points: Sequence[Point], scalar: int) -> List[Point]:
+        """Return ``[scalar · P for P in points]``, recoding the scalar once.
+
+        This is the blinding fast path of :meth:`ChainMember.process_round
+        <repro.mixnet.ahs.ChainMember.process_round>`: one chain member
+        multiplies every submission's DH key by the same blinding secret.
+        """
+        scalar %= self.order
+        if scalar == 0:
+            return [_IDENTITY for _ in points]
+        digits = _scalar_windows(scalar)
+        return [
+            _IDENTITY if point.is_identity() else _windowed_mult(point, digits)
+            for point in points
+        ]
+
+    def multi_scalar_accumulate(self, points: Sequence[Point], scalars: Sequence[int]) -> Point:
+        """Return ``Σ sᵢ·Pᵢ`` with one shared doubling chain (Straus's trick)."""
+        if len(points) != len(scalars):
+            raise ConfigurationError("points and scalars must have the same length")
+        terms = []
+        for point, scalar in zip(points, scalars):
+            scalar %= self.order
+            if scalar == 0 or point.is_identity():
+                continue
+            terms.append((_window_table(point), _scalar_windows(scalar)))
+        if not terms:
+            return _IDENTITY
+        result = _IDENTITY
+        for index in range(_SCALAR_WINDOWS - 1, -1, -1):
+            result = _edwards_double(_edwards_double(_edwards_double(_edwards_double(result))))
+            for table, digits in terms:
+                digit = digits[index]
+                if digit:
+                    result = _edwards_add(result, table[digit - 1])
+        return result
 
     def exp(self, point: Point, scalar: int) -> Point:
         """Alias of :meth:`scalar_mult` using the paper's multiplicative notation."""
@@ -324,6 +499,18 @@ class ModPGroup:
     def base_mult(self, scalar: int) -> int:
         return pow(self.generator, scalar % self.order, self.prime)
 
+    def scalar_mult_batch(self, elements: Sequence[int], scalar: int) -> List[int]:
+        exponent = scalar % self.order
+        return [pow(element, exponent, self.prime) for element in elements]
+
+    def multi_scalar_accumulate(self, elements: Sequence[int], scalars: Sequence[int]) -> int:
+        if len(elements) != len(scalars):
+            raise ConfigurationError("elements and scalars must have the same length")
+        total = 1
+        for element, scalar in zip(elements, scalars):
+            total = (total * pow(element, scalar % self.order, self.prime)) % self.prime
+        return total
+
     def exp(self, element: int, scalar: int) -> int:
         return self.scalar_mult(element, scalar)
 
@@ -378,3 +565,25 @@ def multi_scalar_mult(group, points: Sequence, scalars: Sequence[int]) -> List:
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have the same length")
     return [group.scalar_mult(point, scalar) for point, scalar in zip(points, scalars)]
+
+
+def multi_scalar_accumulate(group, points: Sequence, scalars: Sequence[int]):
+    """Return ``Σ s_i·P_i``, via the group's fused fast path when it has one.
+
+    NIZK verification rewrites its equality checks as one accumulation
+    (``s·G − c·P == R``), which shares the doubling chain between the two
+    terms on the curve; groups without a fast path fall back to the generic
+    multiply-then-sum.
+    """
+    fused = getattr(group, "multi_scalar_accumulate", None)
+    if fused is not None:
+        return fused(points, scalars)
+    return group.sum(multi_scalar_mult(group, points, scalars))
+
+
+def scalar_mult_batch(group, points: Sequence, scalar: int) -> List:
+    """Return ``[scalar·P for P in points]`` via the group's batch fast path."""
+    batch = getattr(group, "scalar_mult_batch", None)
+    if batch is not None:
+        return batch(points, scalar)
+    return [group.scalar_mult(point, scalar) for point in points]

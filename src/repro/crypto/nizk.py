@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.constants import NIZK_LABEL_DLEQ, NIZK_LABEL_DLOG
+from repro.crypto.group import multi_scalar_accumulate
 from repro.errors import ProofError
 
 __all__ = [
@@ -89,9 +90,12 @@ def verify_dlog(group, base, public, proof: SchnorrProof, context: bytes = b"") 
     except Exception:
         return False
     challenge = _dlog_challenge(group, base, public, proof.commitment, context)
-    left = group.scalar_mult(base, proof.response)
-    right = group.add(commitment_point, group.scalar_mult(public, challenge))
-    return left == right
+    # s·base == R + c·public  ⟺  s·base − c·public == R; the single fused
+    # accumulation shares one doubling chain between both terms.
+    combined = multi_scalar_accumulate(
+        group, [base, public], [proof.response, group.order - challenge]
+    )
+    return combined == commitment_point
 
 
 def _dleq_challenge(group, base1, public1, base2, public2, commitment1, commitment2, context: bytes) -> int:
@@ -131,13 +135,12 @@ def verify_dleq(group, base1, public1, base2, public2, proof: DleqProof, context
     challenge = _dleq_challenge(
         group, base1, public1, base2, public2, proof.commitment1, proof.commitment2, context
     )
-    left1 = group.scalar_mult(base1, proof.response)
-    right1 = group.add(commitment1_point, group.scalar_mult(public1, challenge))
-    if left1 != right1:
+    negated = group.order - challenge
+    combined1 = multi_scalar_accumulate(group, [base1, public1], [proof.response, negated])
+    if combined1 != commitment1_point:
         return False
-    left2 = group.scalar_mult(base2, proof.response)
-    right2 = group.add(commitment2_point, group.scalar_mult(public2, challenge))
-    return left2 == right2
+    combined2 = multi_scalar_accumulate(group, [base2, public2], [proof.response, negated])
+    return combined2 == commitment2_point
 
 
 def require_valid_dlog(group, base, public, proof: SchnorrProof, context: bytes = b"") -> None:

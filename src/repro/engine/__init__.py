@@ -1,0 +1,31 @@
+"""Pluggable round-execution engine (DESIGN.md §2).
+
+Splits round orchestration policy (:class:`RoundEngine`, the staged
+pipeline) from execution strategy (:class:`SerialBackend` /
+:class:`ParallelBackend`) and scheduling (:class:`StaggeredScheduler`,
+the paper's stagger optimisation).  :class:`Deployment
+<repro.coordinator.network.Deployment>` is a thin facade over this package.
+"""
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    ParallelBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.engine.round_engine import RoundEngine
+from repro.engine.stages import ChainOutcome, RoundContext, RoundReport, RoundSpec
+from repro.engine.stagger import StaggeredScheduler
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "make_backend",
+    "RoundEngine",
+    "RoundSpec",
+    "RoundReport",
+    "RoundContext",
+    "ChainOutcome",
+    "StaggeredScheduler",
+]

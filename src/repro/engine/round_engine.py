@@ -1,0 +1,211 @@
+"""The round engine: orchestration policy for one communication round.
+
+:class:`RoundEngine` decomposes :meth:`Deployment.run_round
+<repro.coordinator.network.Deployment.run_round>` into the explicit stages
+described in :mod:`repro.engine.stages` and delegates the mix stage to a
+pluggable :class:`~repro.engine.backends.ExecutionBackend`.  The engine holds
+no round state of its own — everything lives in the :class:`RoundContext` —
+so a scheduler (see :mod:`repro.engine.stagger`) may interleave the stages of
+consecutive rounds.
+
+Stage/state ownership, which is what makes that interleaving safe:
+
+* **prepare** and **announce** touch chain state (per-round inner keys);
+* **collect** touches only user state, the cover store, and the report;
+* **mix** touches only chain state for its own round;
+* **deliver** and **fetch** touch the mailbox hub, user state, and the
+  report.
+
+The scheduler keeps prepare/announce/deliver/fetch on the coordinating
+thread and only ever overlaps *collect* (user state) with *mix* (chain
+state) — disjoint by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.engine.backends import ExecutionBackend, SerialBackend
+from repro.engine.stages import ChainOutcome, RoundContext, RoundReport, RoundSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.coordinator.network import Deployment
+
+__all__ = ["RoundEngine"]
+
+
+class RoundEngine:
+    """Executes rounds for one deployment through a pluggable backend."""
+
+    def __init__(self, deployment: "Deployment", backend: Optional[ExecutionBackend] = None) -> None:
+        self.deployment = deployment
+        self.backend = backend or SerialBackend()
+
+    # -- one-shot execution ----------------------------------------------------
+
+    def execute_round(self, spec: RoundSpec) -> RoundReport:
+        """Run all five stages of one round back to back."""
+        ctx = self.prepare(spec)
+        self.collect(ctx)
+        self.finalize_collect(ctx)
+        self.mix(ctx)
+        self.deliver(ctx)
+        self.fetch(ctx)
+        return ctx.report
+
+    # -- individual stages -------------------------------------------------------
+
+    def announce(self, round_number: int) -> None:
+        """Announce (idempotently) the per-round inner keys for a future round.
+
+        The staggered scheduler calls this ahead of time so that, while a
+        round is mixing, the overlapped collect stage finds every key view it
+        needs already cached and never touches chain state.
+        """
+        deployment = self.deployment
+        deployment._begin_round_on_chains(round_number)
+
+    def prepare(self, spec: RoundSpec) -> RoundContext:
+        """Allocate the round number and assemble the chain key views."""
+        deployment = self.deployment
+        round_number = deployment.next_round
+        deployment.next_round += 1
+        ctx = RoundContext(
+            round_number=round_number,
+            spec=spec,
+            report=RoundReport(round_number=round_number),
+        )
+        ctx.current_views = deployment.chain_keys_view(round_number)
+        if deployment.config.use_cover_messages:
+            ctx.next_views = deployment.chain_keys_view(round_number + 1)
+        ctx.per_chain = {chain.chain_id: [] for chain in deployment.chains}
+        return ctx
+
+    def _build_user_submissions(self, ctx: RoundContext, user) -> None:
+        """Build one online user's submissions and bank next round's covers."""
+        deployment = self.deployment
+        ctx.user_submissions[user.name] = user.build_round_submissions(
+            ctx.round_number,
+            deployment.num_chains,
+            ctx.current_views,
+            payload=ctx.spec.payloads.get(user.name),
+        )
+        if deployment.config.use_cover_messages:
+            deployment._cover_store[user.name] = user.build_cover_submissions(
+                ctx.round_number + 1, deployment.num_chains, ctx.next_views
+            )
+
+    def collect(self, ctx: RoundContext, defer: "frozenset[str]" = frozenset()) -> None:
+        """Gather submissions from every online user; play covers for the rest.
+
+        ``defer`` names users whose submissions must not be built yet — the
+        staggered scheduler passes the previous round's ``notice_targets``,
+        because those users' conversation state may flip when the previous
+        round's fetch runs (an offline notice ends the conversation, turning
+        next round's conversation message into a loopback).  Their builds
+        happen in :meth:`finalize_collect`, after that fetch.  A user's own
+        draw order never changes — only *when* it runs — so reports stay
+        bit-identical to serial execution.
+        """
+        deployment = self.deployment
+        spec = ctx.spec
+        report = ctx.report
+        for user in deployment.users:
+            if user.name in spec.offline_users:
+                report.offline_users.append(user.name)
+                covers = deployment._cover_store.pop(user.name, None)
+                if covers is not None:
+                    report.used_cover_for.append(user.name)
+                    ctx.user_submissions[user.name] = list(covers)
+                    if user.conversation is not None:
+                        # The partner will find an offline notice in this
+                        # round's mailbox; anyone scheduling ahead must wait
+                        # for this round's fetch before building their next
+                        # submissions.
+                        ctx.notice_targets.add(user.conversation.partner_name)
+                    # The cover set carried an offline notice to the partner
+                    # (§5.3.3): from the user's own point of view the
+                    # conversation is over until re-established out of band.
+                    user.end_conversation()
+                continue
+            if user.name in defer:
+                ctx.deferred_users.append(user.name)
+                continue
+            self._build_user_submissions(ctx, user)
+
+    def finalize_collect(self, ctx: RoundContext) -> None:
+        """Build any deferred users' submissions and assemble the chain batches.
+
+        Batches are assembled in global user order (then extra submissions),
+        so their contents are independent of which phase built each user.
+        """
+        deployment = self.deployment
+        for user_name in ctx.deferred_users:
+            self._build_user_submissions(ctx, deployment.user(user_name))
+        ctx.deferred_users = []
+        for user in deployment.users:
+            for submission in ctx.user_submissions.get(user.name, []):
+                ctx.per_chain[submission.chain_id].append(submission)
+        for submission in ctx.spec.extra_submissions:
+            if submission.chain_id in ctx.per_chain:
+                ctx.per_chain[submission.chain_id].append(submission)
+        ctx.report.total_submissions = sum(len(batch) for batch in ctx.per_chain.values())
+
+    def mix(self, ctx: RoundContext) -> None:
+        """Run the aggregate hybrid shuffle on every chain via the backend."""
+
+        def run_chain(chain) -> ChainOutcome:
+            submissions = ctx.per_chain[chain.chain_id]
+            _, rejected = chain.accept_submissions(ctx.round_number, submissions)
+            result = chain.run_round(
+                ctx.round_number, retry_after_blame=ctx.spec.retry_after_blame
+            )
+            return ChainOutcome(chain_id=chain.chain_id, accept_rejected=rejected, result=result)
+
+        outcomes = self.backend.map_chains(run_chain, self.deployment.chains)
+        ctx.chain_outcomes = {outcome.chain_id: outcome for outcome in outcomes}
+
+    def deliver(self, ctx: RoundContext) -> None:
+        """Fold chain outcomes into the report and deliver mailbox messages.
+
+        Runs in chain order regardless of how the backend scheduled the
+        mixing, so report fields and mailbox contents are deterministic.
+        """
+        deployment = self.deployment
+        report = ctx.report
+        for chain in deployment.chains:
+            outcome = ctx.chain_outcomes[chain.chain_id]
+            result = outcome.result
+            report.rejected_senders.extend(outcome.accept_rejected)
+            report.chain_results[chain.chain_id] = result
+            report.rejected_senders.extend(
+                sender
+                for sender in result.rejected_senders
+                if sender not in report.rejected_senders
+            )
+            if result.delivered:
+                report.dropped_unknown_recipients += deployment.mailboxes.deliver_batch(
+                    ctx.round_number, result.mailbox_messages
+                )
+
+    def fetch(self, ctx: RoundContext) -> None:
+        """Each online user fetches and decrypts her mailbox."""
+        deployment = self.deployment
+        report = ctx.report
+        for user in deployment.users:
+            if user.name in ctx.spec.offline_users:
+                continue
+            inbox = deployment.mailboxes.get(ctx.round_number, user.public_bytes)
+            report.mailbox_counts[user.name] = len(inbox)
+            report.delivered[user.name] = user.decrypt_mailbox(
+                ctx.round_number, inbox, deployment.num_chains
+            )
+
+    # -- multi-round convenience ------------------------------------------------
+
+    def execute_rounds(self, specs: Sequence[RoundSpec]) -> List[RoundReport]:
+        """Run several rounds sequentially (no stagger)."""
+        return [self.execute_round(spec) for spec in specs]
+
+    def close(self) -> None:
+        self.backend.close()

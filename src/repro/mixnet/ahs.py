@@ -36,6 +36,7 @@ from repro.crypto.nizk import (
     verify_dleq,
     verify_dlog,
 )
+from repro.crypto.group import scalar_mult_batch
 from repro.crypto.onion import InnerEnvelope, decrypt_inner, decrypt_outer_layer
 from repro.errors import MixingError, ProofError, ProtocolError
 from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage, batch_digest
@@ -157,6 +158,7 @@ class _RoundRecord:
     inner_secret: Optional[int] = None
     inner_public: Optional[object] = None
     failed_indices: List[int] = field(default_factory=list)
+    rng: Optional[random.Random] = None
 
 
 class ChainMember:
@@ -180,12 +182,30 @@ class ChainMember:
         self.position = position
         self.group = group
         self._rng = rng or random.SystemRandom()
+        # Per-round randomness is derived from a seed drawn once at
+        # construction, so every (member, round) pair owns an independent
+        # stream.  This is what lets the engine mix chains concurrently and
+        # stagger rounds while staying bit-identical to serial execution:
+        # no draw order across chains or rounds can change any output.  When
+        # no deterministic rng was supplied, rounds keep using the OS CSPRNG
+        # directly.
+        self._deterministic = rng is not None
+        self._round_seed_base = self._rng.getrandbits(256) if self._deterministic else None
         self.base_point = None
         self.blinding_secret: Optional[int] = None
         self.blinding_public = None
         self.mixing_secret: Optional[int] = None
         self.mixing_public = None
         self._rounds: Dict[int, _RoundRecord] = {}
+
+    def _round_rng(self, round_number: int) -> random.Random:
+        """The member's independent randomness stream for one round."""
+        if not self._deterministic:
+            return self._rng
+        record = self._rounds.setdefault(round_number, _RoundRecord())
+        if record.rng is None:
+            record.rng = random.Random((self._round_seed_base << 64) | round_number)
+        return record.rng
 
     # -- key ceremony ---------------------------------------------------------
 
@@ -211,11 +231,12 @@ class ChainMember:
     def begin_round(self, round_number: int) -> InnerKeyAnnouncement:
         """Generate this round's inner key pair and announce the public part."""
         group = self.group
+        rng = self._round_rng(round_number)
         record = self._rounds.setdefault(round_number, _RoundRecord())
-        record.inner_secret = group.random_scalar(self._rng)
+        record.inner_secret = group.random_scalar(rng)
         record.inner_public = group.base_mult(record.inner_secret)
         context = inner_key_context(self.chain_id, self.position, round_number)
-        proof = prove_dlog(group, group.base(), record.inner_secret, context, self._rng)
+        proof = prove_dlog(group, group.base(), record.inner_secret, context, rng)
         return InnerKeyAnnouncement(position=self.position, inner_public=record.inner_public, proof=proof)
 
     # -- mixing -----------------------------------------------------------------
@@ -225,8 +246,14 @@ class ChainMember:
         if self.mixing_secret is None or self.blinding_secret is None:
             raise ProtocolError("chain member has not completed key setup")
         group = self.group
+        rng = self._round_rng(round_number)
         record = self._rounds.setdefault(round_number, _RoundRecord())
         record.inputs = list(entries)
+        # Batched blinding fast path: every DH key is multiplied by the same
+        # blinding secret, so the scalar is recoded once for the whole batch.
+        blinded_keys = scalar_mult_batch(
+            group, [entry.dh_public for entry in entries], self.blinding_secret
+        )
         processed: List[BatchEntry] = []
         failed: List[int] = []
         for index, entry in enumerate(entries):
@@ -236,13 +263,12 @@ class ChainMember:
             if not ok:
                 failed.append(index)
                 next_ciphertext = b""
-            blinded = group.scalar_mult(entry.dh_public, self.blinding_secret)
-            processed.append(BatchEntry(dh_public=blinded, ciphertext=next_ciphertext or b""))
+            processed.append(BatchEntry(dh_public=blinded_keys[index], ciphertext=next_ciphertext or b""))
         if failed:
             record.failed_indices = failed
             return MixStepResult(position=self.position, entries=[], proof=None, failed_indices=failed)
         permutation = list(range(len(processed)))
-        self._rng.shuffle(permutation)
+        rng.shuffle(permutation)
         outputs = [processed[source] for source in permutation]
         record.permutation = permutation
         record.outputs = outputs
@@ -252,7 +278,7 @@ class ChainMember:
             base2=self.base_point,
             secret=self.blinding_secret,
             context=mixing_context(self.chain_id, self.position, round_number),
-            rng=self._rng,
+            rng=rng,
         )
         return MixStepResult(position=self.position, entries=outputs, proof=proof)
 
@@ -287,16 +313,17 @@ class ChainMember:
         from repro.mixnet.blame import BlameReveal  # local import to avoid a cycle
 
         group = self.group
+        rng = self._round_rng(round_number)
         record = self._rounds[round_number]
         input_index = record.permutation[output_index]
         entry = record.inputs[input_index]
         context = blame_context(self.chain_id, self.position, round_number)
         blinding_proof = prove_dleq(
-            group, entry.dh_public, self.base_point, self.blinding_secret, context, self._rng
+            group, entry.dh_public, self.base_point, self.blinding_secret, context, rng
         )
         decryption_key = group.scalar_mult(entry.dh_public, self.mixing_secret)
         key_proof = prove_dleq(
-            group, entry.dh_public, self.base_point, self.mixing_secret, context, self._rng
+            group, entry.dh_public, self.base_point, self.mixing_secret, context, rng
         )
         return BlameReveal(
             position=self.position,
@@ -317,12 +344,13 @@ class ChainMember:
         from repro.mixnet.blame import AccuserReveal  # local import to avoid a cycle
 
         group = self.group
+        rng = self._round_rng(round_number)
         record = self._rounds[round_number]
         entry = record.inputs[input_index]
         context = blame_context(self.chain_id, self.position, round_number)
         decryption_key = group.scalar_mult(entry.dh_public, self.mixing_secret)
         key_proof = prove_dleq(
-            group, entry.dh_public, self.base_point, self.mixing_secret, context, self._rng
+            group, entry.dh_public, self.base_point, self.mixing_secret, context, rng
         )
         return AccuserReveal(
             position=self.position,

@@ -12,6 +12,13 @@ Two models are provided:
   models contention between the ``k`` chains each server belongs to and the
   effect of (not) staggering server positions.
 
+The stagger optimisation priced by the pipeline model is also *executed*
+end-to-end against the real protocol stack by
+:class:`repro.engine.stagger.StaggeredScheduler`, which overlaps round
+``r + 1``'s submission collection with round ``r``'s mixing (DESIGN.md
+§2.3); this module remains the way to price configurations far beyond what
+the in-process stack can run.
+
 :func:`blame_latency` models Figure 7 (worst-case slowdown from malicious
 users triggering the blame protocol at the last server of a chain).
 """

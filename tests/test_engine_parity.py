@@ -1,0 +1,236 @@
+"""Engine parity: every backend/scheduler combination is bit-identical.
+
+The acceptance property of the engine refactor: with a fixed deployment
+seed, ``SerialBackend``, ``ParallelBackend``, and the staggered scheduler
+deliver byte-identical :class:`RoundReport` payloads across multi-round
+conversations, including offline/cover rounds and adversarial extra
+submissions.  ``RoundReport.canonical_bytes`` hashes everything observable
+about a round (delivered messages, mailbox counts, per-chain statuses and
+mailbox message bytes, rejections, cover plays), so equality here means the
+execution strategy is unobservable.
+"""
+
+import pytest
+
+from repro.coordinator.network import Deployment, DeploymentConfig, RoundSpec
+from repro.engine import (
+    ParallelBackend,
+    RoundEngine,
+    SerialBackend,
+    StaggeredScheduler,
+    make_backend,
+)
+from repro.errors import ConfigurationError
+
+from tests.test_ahs_protocol import make_submission
+
+
+def build(backend="serial", seed=42, **kwargs):
+    config = DeploymentConfig(
+        num_servers=4,
+        num_users=6,
+        num_chains=3,
+        chain_length=2,
+        seed=seed,
+        group_kind="modp",
+        execution_backend=backend,
+        **kwargs,
+    )
+    return Deployment.create(config)
+
+
+def conversation_script(deployment):
+    """A six-round script exercising payloads, idle rounds, and churn."""
+    a, b = deployment.users[0].name, deployment.users[1].name
+    c, d = deployment.users[2].name, deployment.users[3].name
+    deployment.start_conversation(a, b)
+    deployment.start_conversation(c, d)
+    return [
+        deployment.round_spec(payloads={a: b"r1-a", b: b"r1-b", c: b"r1-c"}),
+        # b vanishes: her banked cover is played and a receives the offline
+        # notice in this round's fetch — the data dependency the staggered
+        # scheduler must honour.
+        deployment.round_spec(payloads={a: b"r2-a"}, offline_users={b}),
+        deployment.round_spec(payloads={c: b"r3-c", d: b"r3-d"}),
+        deployment.round_spec(offline_users={d}),
+        deployment.round_spec(payloads={a: b"r5-a"}),
+        deployment.round_spec(),
+    ]
+
+
+def fingerprints(reports):
+    return [report.canonical_bytes() for report in reports]
+
+
+class TestBackendParity:
+    def test_parallel_backend_matches_serial(self):
+        serial = build("serial")
+        parallel = build("parallel")
+        expected = fingerprints(serial.run_rounds(conversation_script(serial)))
+        actual = fingerprints(parallel.run_rounds(conversation_script(parallel)))
+        parallel.close()
+        assert actual == expected
+
+    def test_staggered_matches_serial(self):
+        serial = build()
+        staggered = build()
+        expected = fingerprints(serial.run_rounds(conversation_script(serial)))
+        actual = fingerprints(
+            staggered.run_rounds(conversation_script(staggered), staggered=True)
+        )
+        assert actual == expected
+
+    def test_staggered_parallel_matches_serial(self):
+        serial = build()
+        combined = build("parallel")
+        expected = fingerprints(serial.run_rounds(conversation_script(serial)))
+        actual = fingerprints(
+            combined.run_rounds(conversation_script(combined), staggered=True)
+        )
+        combined.close()
+        assert actual == expected
+
+    def test_parity_without_cover_messages(self):
+        expected = None
+        for staggered in (False, True):
+            deployment = build("parallel", use_cover_messages=False)
+            a, b = deployment.users[0].name, deployment.users[1].name
+            deployment.start_conversation(a, b)
+            specs = [
+                deployment.round_spec(payloads={a: b"one"}),
+                deployment.round_spec(payloads={b: b"two"}),
+                deployment.round_spec(),
+            ]
+            actual = fingerprints(deployment.run_rounds(specs, staggered=staggered))
+            deployment.close()
+            if expected is None:
+                expected = actual
+            else:
+                assert actual == expected
+
+    def test_parity_with_rejected_extra_submissions(self):
+        """An adversarial submission with a bogus proof is rejected identically."""
+
+        def run(backend, staggered):
+            deployment = build(backend, seed=9)
+            chain = deployment.chains[0]
+            deployment.engine.announce(1)
+            forged = make_submission(
+                deployment.group,
+                chain,
+                1,
+                "mallory",
+                deployment.users[0].public_bytes,
+                b"\x07" * 32,
+            )
+            bad = type(forged)(
+                chain_id=forged.chain_id,
+                sender="mallory",
+                dh_public=forged.dh_public,
+                ciphertext=forged.ciphertext,
+                proof=type(forged.proof)(commitment=forged.proof.commitment, response=1),
+            )
+            specs = [
+                deployment.round_spec(extra_submissions=[bad]),
+                deployment.round_spec(),
+            ]
+            reports = deployment.run_rounds(specs, staggered=staggered)
+            deployment.close()
+            return reports
+
+        expected = run("serial", False)
+        assert expected[0].rejected_senders == ["mallory"]
+        for backend, staggered in (("parallel", False), ("serial", True), ("parallel", True)):
+            reports = run(backend, staggered)
+            assert fingerprints(reports) == fingerprints(expected)
+
+    def test_staggered_defers_notice_targets_only(self):
+        """The overlapped collect builds everyone except pending notice recipients."""
+        deployment = build()
+        a, b = deployment.users[0].name, deployment.users[1].name
+        deployment.start_conversation(a, b)
+        engine = deployment.engine
+        ctx1 = engine.prepare(deployment.round_spec(payloads={a: b"x"}))
+        engine.collect(ctx1)
+        engine.finalize_collect(ctx1)
+        assert ctx1.notice_targets == set()
+        engine.mix(ctx1)
+        engine.deliver(ctx1)
+        engine.fetch(ctx1)
+
+        ctx2 = engine.prepare(deployment.round_spec(offline_users={b}))
+        engine.collect(ctx2)
+        assert ctx2.notice_targets == {a}
+        engine.finalize_collect(ctx2)
+        engine.mix(ctx2)
+        engine.deliver(ctx2)
+        engine.fetch(ctx2)
+
+        ctx3 = engine.prepare(deployment.round_spec())
+        engine.collect(ctx3, defer=frozenset(ctx2.notice_targets))
+        assert ctx3.deferred_users == [a]
+        assert a not in ctx3.user_submissions
+        engine.finalize_collect(ctx3)
+        assert a in ctx3.user_submissions
+        assert ctx3.deferred_users == []
+
+
+class TestBackendConfiguration:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("quantum")
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(execution_backend="quantum").validate()
+
+    def test_bad_worker_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelBackend(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(max_workers=0).validate()
+
+    def test_max_workers_one_still_correct(self):
+        deployment = build("parallel", max_workers=1)
+        report = deployment.run_round()
+        deployment.close()
+        assert report.all_chains_delivered()
+
+    def test_use_backend_swaps_engine_backend(self):
+        deployment = build()
+        assert isinstance(deployment.engine.backend, SerialBackend)
+        deployment.use_backend(ParallelBackend(max_workers=2))
+        assert isinstance(deployment.engine.backend, ParallelBackend)
+        report = deployment.run_round()
+        deployment.close()
+        assert report.all_chains_delivered()
+
+    def test_backend_close_is_idempotent(self):
+        backend = ParallelBackend(max_workers=2)
+        assert backend.map_chains(lambda value: value * 2, [1, 2, 3]) == [2, 4, 6]
+        backend.close()
+        backend.close()
+
+    def test_map_chains_propagates_worker_exception(self):
+        backend = ParallelBackend(max_workers=2)
+
+        def boom(value):
+            if value == 2:
+                raise RuntimeError("chain exploded")
+            return value
+
+        with pytest.raises(RuntimeError, match="chain exploded"):
+            backend.map_chains(boom, [1, 2, 3])
+        backend.close()
+
+    def test_round_engine_usable_standalone(self):
+        """The engine API works without going through Deployment.run_round."""
+        deployment = build()
+        engine = RoundEngine(deployment, backend=SerialBackend())
+        report = engine.execute_round(deployment.round_spec())
+        assert report.round_number == 1
+        assert report.all_chains_delivered()
+
+    def test_staggered_scheduler_for_deployment(self):
+        deployment = build()
+        scheduler = StaggeredScheduler.for_deployment(deployment)
+        reports = scheduler.run_rounds([deployment.round_spec(), deployment.round_spec()])
+        assert [report.round_number for report in reports] == [1, 2]
