@@ -1,7 +1,19 @@
 """Figure/table generators, reproduction scorecard, and text rendering."""
 
 from repro.analysis import figures
+from repro.analysis.measured import (
+    measured_vs_model_bandwidth,
+    measured_vs_model_latency,
+)
 from repro.analysis.report import render_figure, render_table
 from repro.analysis.scorecard import build_scorecard, render_scorecard
 
-__all__ = ["build_scorecard", "figures", "render_figure", "render_scorecard", "render_table"]
+__all__ = [
+    "build_scorecard",
+    "figures",
+    "measured_vs_model_bandwidth",
+    "measured_vs_model_latency",
+    "render_figure",
+    "render_scorecard",
+    "render_table",
+]

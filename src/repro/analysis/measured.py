@@ -1,0 +1,115 @@
+"""Measured-from-traffic companions to the analytic figures.
+
+The analytic models in :mod:`repro.simulation` *predict* XRD's costs from
+closed forms; a deployment on the instrumented transport *measures* them
+from the wire bytes its envelopes actually carried.  This module puts the
+two side by side:
+
+* :func:`measured_vs_model_bandwidth` — the Figure 2 companion: mean
+  per-user upload/download bytes per round from the traffic ledger against
+  :func:`repro.simulation.bandwidth.deployment_user_bandwidth` anchored to
+  the same chain parameters.  The acceptance bar is agreement within 5%.
+* :func:`measured_vs_model_latency` — the Figure 4/5 companion: the
+  modelled time of the measured critical path (submission → slowest chain's
+  hops → delivery → fetch) next to the network leg predicted from the
+  configuration, and the closed-form end-to-end estimate (which also prices
+  compute, so it is reported for context rather than compared).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.constants import AEAD_TAG_SIZE, GROUP_ELEMENT_SIZE, PAYLOAD_SIZE
+from repro.crypto.onion import onion_size
+from repro.errors import SimulationError
+from repro.mixnet.messages import mailbox_message_size
+from repro.simulation.bandwidth import deployment_user_bandwidth, submission_wire_size
+from repro.simulation.latency import messages_per_chain
+
+#: The codec's framing: each batch blob carries a 4-byte count, each framed
+#: item a 4-byte length prefix (see ``repro.transport.codec``).
+_FRAME_PREFIX = 4
+
+__all__ = ["measured_vs_model_bandwidth", "measured_vs_model_latency"]
+
+
+def _ledger_or_raise(deployment):
+    ledger = deployment.traffic_ledger
+    if ledger is None:
+        raise SimulationError(
+            "measured figures need a deployment on the instrumented transport"
+        )
+    return ledger
+
+
+def measured_vs_model_bandwidth(deployment, round_number: int) -> Dict:
+    """Mean measured per-user bytes for one round vs. the analytic prediction.
+
+    The comparison is only meaningful for a round in which every user was
+    online (offline users upload nothing, pulling the measured mean down).
+    """
+    ledger = _ledger_or_raise(deployment)
+    per_user = ledger.per_user_bytes(round_number)
+    if not per_user:
+        raise SimulationError(f"no traffic recorded for round {round_number}")
+    uploads = [upload for upload, _ in per_user.values()]
+    downloads = [download for _, download in per_user.values()]
+    config = deployment.config
+    model = deployment_user_bandwidth(
+        deployment.num_chains,
+        config.resolved_chain_length(),
+        payload_size=PAYLOAD_SIZE,
+        cover_messages=config.use_cover_messages,
+        num_servers=config.num_servers,
+    )
+    measured_upload = sum(uploads) / len(uploads)
+    measured_download = sum(downloads) / len(downloads)
+    return {
+        "round": round_number,
+        "users_measured": len(per_user),
+        "measured_upload_bytes": measured_upload,
+        "measured_download_bytes": measured_download,
+        "model_upload_bytes": model.upload_bytes,
+        "model_download_bytes": model.download_bytes,
+        "upload_ratio": measured_upload / model.upload_bytes,
+        "download_ratio": measured_download / model.download_bytes,
+    }
+
+
+def measured_vs_model_latency(deployment, round_number: int) -> Dict:
+    """The measured critical path's link time vs. the configured network model.
+
+    ``modelled_network_seconds`` rebuilds the same critical path from the
+    configuration alone (uniform chain load ``R = M·ℓ/n``, per-hop batch
+    sizes shrinking by one AEAD tag per layer), so measured vs. modelled
+    quantifies how far real chain loads deviate from the uniform-load
+    assumption — the network share of the Figure 4/5 analytic curves.
+    """
+    ledger = _ledger_or_raise(deployment)
+    cost_model = getattr(deployment.transport, "cost_model", None)
+    if cost_model is None:
+        raise SimulationError("the deployment's transport carries no link cost model")
+    config = deployment.config
+    num_chains = deployment.num_chains
+    chain_length = config.resolved_chain_length()
+    ell = deployment.ell()
+    load = messages_per_chain(config.num_users, num_chains)
+    # Entry ciphertexts start at onion size minus the separately-carried DH
+    # key and lose one AEAD tag per hop; each batch entry adds the key back
+    # plus a length prefix, each batch blob a count prefix.
+    first_ciphertext = onion_size(chain_length, PAYLOAD_SIZE) - GROUP_ELEMENT_SIZE
+    hops = 0.0
+    for hop in range(1, chain_length):
+        entry_bytes = GROUP_ELEMENT_SIZE + _FRAME_PREFIX + (first_ciphertext - hop * AEAD_TAG_SIZE)
+        hops += cost_model.link_time(_FRAME_PREFIX + load * entry_bytes)
+    framed_mailbox = _FRAME_PREFIX + mailbox_message_size(PAYLOAD_SIZE)
+    delivery = cost_model.link_time(_FRAME_PREFIX + load * framed_mailbox)
+    submission = cost_model.link_time(submission_wire_size(chain_length))
+    fetch = cost_model.link_time(_FRAME_PREFIX + ell * framed_mailbox)
+    return {
+        "round": round_number,
+        "measured_seconds": ledger.round_latency_seconds(round_number),
+        "modelled_network_seconds": submission + hops + delivery + fetch,
+        "chain_hop_seconds": ledger.chain_hop_seconds(round_number),
+    }

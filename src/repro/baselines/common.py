@@ -9,7 +9,7 @@ organises systems along.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.errors import SimulationError
 

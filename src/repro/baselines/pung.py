@@ -26,7 +26,7 @@ import hashlib
 import math
 import secrets
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from repro.baselines.common import SystemModel
 from repro.errors import ConfigurationError, SimulationError

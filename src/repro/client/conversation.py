@@ -10,9 +10,7 @@ is the :meth:`Conversation.establish` call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
+from dataclasses import dataclass
 from repro.crypto.kdf import conversation_key
 
 __all__ = ["Conversation"]

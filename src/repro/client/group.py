@@ -18,9 +18,9 @@ its ℓ slots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.client.chain_selection import chains_for_user, intersection_chain
 from repro.errors import ChainSelectionError

@@ -11,7 +11,7 @@ her mailbox.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.client.chain_selection import chains_for_user, intersection_chain
@@ -23,6 +23,7 @@ from repro.crypto.onion import encrypt_inner, encrypt_outer_layers
 from repro.errors import ConfigurationError, ProtocolError
 from repro.mixnet.ahs import submission_context
 from repro.mixnet.messages import ClientSubmission, MailboxMessage, MessageBody
+from repro.transport.envelope import Envelope, submission_envelope
 
 __all__ = ["ChainKeysView", "ReceivedMessage", "User"]
 
@@ -213,6 +214,22 @@ class User:
             offline_notice=True,
             cover=True,
         )
+
+    def submission_envelopes(
+        self,
+        submissions: Sequence[ClientSubmission],
+        entry_servers: Dict[int, str],
+        upload_round: int,
+    ) -> List[Envelope]:
+        """Address this user's submissions to their chains' entry servers.
+
+        See :func:`repro.transport.envelope.submission_envelope` for the
+        upload-round semantics (covers cross the uplink one round early).
+        """
+        return [
+            submission_envelope(submission, entry_servers, upload_round)
+            for submission in submissions
+        ]
 
     # -- mailbox decryption ---------------------------------------------------------
 

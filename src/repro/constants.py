@@ -17,6 +17,19 @@ GROUP_ELEMENT_SIZE = 32
 #: Size in bytes of a Poly1305 authentication tag.
 AEAD_TAG_SIZE = 16
 
+#: Size in bytes of an encoded scalar (group exponent) on the wire.
+SCALAR_SIZE = 32
+
+#: Fixed size in bytes of the sender-identity field of a client submission.
+#: Padding every sender name to the same width keeps submissions
+#: uniform-length regardless of who sent them.
+SENDER_FIELD_SIZE = 32
+
+#: Wire overhead of one client submission beyond the onion ciphertext and
+#: outer DH key: chain id (4) + sender length prefix (2) + padded sender
+#: field + the Schnorr proof (commitment element + scalar response).
+SUBMISSION_OVERHEAD = 4 + 2 + SENDER_FIELD_SIZE + GROUP_ELEMENT_SIZE + SCALAR_SIZE
+
 #: Size in bytes of the AEAD nonce (IETF ChaCha20-Poly1305).
 AEAD_NONCE_SIZE = 12
 

@@ -17,10 +17,13 @@ with the configured execution backend and delegates
 or concurrently, and consecutive rounds may be staggered
 (:meth:`Deployment.run_rounds`), without any change to the protocol code.
 
-The deployment is an in-process simulation: "sending" is a method call.  The
-protocol logic, message formats, and cryptography are exactly those a
-networked implementation would use; only the transport is elided (see
-DESIGN.md §3).
+The deployment is an in-process simulation, but every cross-node interaction
+— submissions, server→server batches, mailbox delivery, mailbox fetch —
+travels as a typed envelope over a pluggable :class:`~repro.transport.base.
+Transport` wired at construction (see DESIGN.md §5).  The protocol logic,
+message formats, and cryptography are exactly those a networked
+implementation would use; the instrumented transport measures the real wire
+bytes, and only physical sockets are elided (DESIGN.md §3).
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ from repro.mailbox import MailboxHub
 from repro.mixnet.ahs import ChainMember, MixChain
 from repro.mixnet.chain import ChainTopology, form_chains, required_chain_length
 from repro.mixnet.messages import ClientSubmission
+from repro.transport import Transport, make_transport
 
 __all__ = ["DeploymentConfig", "MixServerNode", "Deployment", "RoundReport", "RoundSpec"]
 
@@ -74,10 +78,17 @@ class DeploymentConfig:
     group_kind: str = "ed25519"
     modp_bits: int = 96
     #: How the mix stage executes the per-chain work: ``"serial"`` (default,
-    #: reference semantics) or ``"parallel"`` (chains on a thread pool).
+    #: reference semantics), ``"parallel"`` (chains on a thread pool), or
+    #: ``"multiprocess"`` (chains forked to worker processes that ship their
+    #: round results back as wire bytes — escapes the GIL).
     execution_backend: str = "serial"
-    #: Worker cap for the parallel backend (``None`` → CPU count).
+    #: Worker cap for the parallel/multiprocess backends (``None`` → CPU count).
     max_workers: Optional[int] = None
+    #: How cross-node messages travel: ``"inproc"`` (default, reference
+    #: semantics — delivery is a hand-off) or ``"instrumented"`` (every
+    #: envelope is serialised to its real wire encoding and accounted in a
+    #: traffic ledger; observable behaviour is bit-identical).
+    transport: str = "inproc"
 
     def resolved_num_chains(self) -> int:
         return self.num_chains if self.num_chains is not None else self.num_servers
@@ -103,10 +114,14 @@ class DeploymentConfig:
             raise ConfigurationError("malicious fraction must be in [0, 1)")
         if self.group_kind not in ("ed25519", "modp"):
             raise ConfigurationError("group_kind must be 'ed25519' or 'modp'")
-        if self.execution_backend not in ("serial", "parallel"):
-            raise ConfigurationError("execution_backend must be 'serial' or 'parallel'")
+        if self.execution_backend not in ("serial", "parallel", "multiprocess"):
+            raise ConfigurationError(
+                "execution_backend must be 'serial', 'parallel', or 'multiprocess'"
+            )
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError("max_workers must be positive when set")
+        if self.transport not in ("inproc", "instrumented"):
+            raise ConfigurationError("transport must be 'inproc' or 'instrumented'")
 
 
 class MixServerNode:
@@ -149,6 +164,7 @@ class Deployment:
         chains: List[MixChain],
         mailboxes: MailboxHub,
         users: List[User],
+        transport: Optional[Transport] = None,
     ) -> None:
         self.config = config
         self.group = group
@@ -159,6 +175,15 @@ class Deployment:
         self.chains = chains
         self.mailboxes = mailboxes
         self.users = users
+        self.transport = (
+            transport if transport is not None else make_transport(config.transport, group=group)
+        )
+        for chain in self.chains:
+            chain.transport = self.transport
+        #: chain id → the server users submit to (the first server of the chain).
+        self.entry_servers: Dict[int, str] = {
+            topology.chain_id: topology.servers[0] for topology in topologies
+        }
         self.next_round = 1
         self._users_by_name = {user.name: user for user in users}
         self._chains_by_id = {chain.chain_id: chain for chain in chains}
@@ -358,10 +383,29 @@ class Deployment:
         self.engine.backend.close()
         self.engine.backend = backend
 
+    def use_transport(self, transport: Transport) -> None:
+        """Swap the deployment's transport (closing the previous one).
+
+        Every chain shares the deployment's transport, so the swap rewires
+        the server→server batch links too.
+        """
+        old = self.transport
+        self.transport = transport
+        for chain in self.chains:
+            chain.transport = transport
+        if old is not transport:
+            old.close()
+
+    @property
+    def traffic_ledger(self):
+        """The instrumented transport's ledger, or ``None`` on other transports."""
+        return getattr(self.transport, "ledger", None)
+
     def close(self) -> None:
-        """Release engine resources (thread pools).
+        """Release engine and transport resources (thread pools).
 
         The deployment stays usable: a parallel backend lazily rebuilds its
         pool on the next round.
         """
         self.engine.close()
+        self.transport.close()

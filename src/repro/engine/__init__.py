@@ -13,6 +13,7 @@ from repro.engine.backends import (
     SerialBackend,
     make_backend,
 )
+from repro.engine.multiprocess import MultiprocessBackend
 from repro.engine.round_engine import RoundEngine
 from repro.engine.stages import ChainOutcome, RoundContext, RoundReport, RoundSpec
 from repro.engine.stagger import StaggeredScheduler
@@ -21,6 +22,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ParallelBackend",
+    "MultiprocessBackend",
     "make_backend",
     "RoundEngine",
     "RoundSpec",

@@ -27,6 +27,12 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.stages import ChainOutcome, RoundContext, RoundReport, RoundSpec
+from repro.transport.envelope import (
+    MAILBOX_DELIVERY,
+    MAILBOX_FETCH,
+    Envelope,
+    submission_envelope,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.coordinator.network import Deployment
@@ -81,19 +87,39 @@ class RoundEngine:
         ctx.per_chain = {chain.chain_id: [] for chain in deployment.chains}
         return ctx
 
-    def _build_user_submissions(self, ctx: RoundContext, user) -> None:
-        """Build one online user's submissions and bank next round's covers."""
+    def _upload_submissions(self, ctx: RoundContext, user, submissions) -> list:
+        """Send one user's submissions to their entry servers over the transport.
+
+        Returns the submissions as the entry servers received them — for the
+        in-process transport the same objects, for an instrumented transport
+        fresh objects decoded from the wire bytes.
+        """
         deployment = self.deployment
-        ctx.user_submissions[user.name] = user.build_round_submissions(
+        envelopes = user.submission_envelopes(
+            submissions, deployment.entry_servers, upload_round=ctx.round_number
+        )
+        return [deployment.transport.deliver(envelope) for envelope in envelopes]
+
+    def _build_user_submissions(self, ctx: RoundContext, user) -> None:
+        """Build one online user's submissions and bank next round's covers.
+
+        Both the round's submissions and the next round's cover set cross the
+        client→entry-server link *this* round (covers are banked ahead of
+        time, §5.3.3), so both uploads are routed through the transport here.
+        """
+        deployment = self.deployment
+        built = user.build_round_submissions(
             ctx.round_number,
             deployment.num_chains,
             ctx.current_views,
             payload=ctx.spec.payloads.get(user.name),
         )
+        ctx.user_submissions[user.name] = self._upload_submissions(ctx, user, built)
         if deployment.config.use_cover_messages:
-            deployment._cover_store[user.name] = user.build_cover_submissions(
+            covers = user.build_cover_submissions(
                 ctx.round_number + 1, deployment.num_chains, ctx.next_views
             )
+            deployment._cover_store[user.name] = self._upload_submissions(ctx, user, covers)
 
     def collect(self, ctx: RoundContext, defer: "frozenset[str]" = frozenset()) -> None:
         """Gather submissions from every online user; play covers for the rest.
@@ -148,7 +174,14 @@ class RoundEngine:
                 ctx.per_chain[submission.chain_id].append(submission)
         for submission in ctx.spec.extra_submissions:
             if submission.chain_id in ctx.per_chain:
-                ctx.per_chain[submission.chain_id].append(submission)
+                # Injected (possibly adversarial) submissions cross the same
+                # client→entry-server link as honest ones.
+                delivered = deployment.transport.deliver(
+                    submission_envelope(
+                        submission, deployment.entry_servers, ctx.round_number
+                    )
+                )
+                ctx.per_chain[submission.chain_id].append(delivered)
         ctx.report.total_submissions = sum(len(batch) for batch in ctx.per_chain.values())
 
     def mix(self, ctx: RoundContext) -> None:
@@ -184,8 +217,20 @@ class RoundEngine:
                 if sender not in report.rejected_senders
             )
             if result.delivered:
+                # The last server of the chain ships the recovered messages
+                # to the mailbox tier.
+                messages = deployment.transport.deliver(
+                    Envelope(
+                        kind=MAILBOX_DELIVERY,
+                        source=chain.members[-1].server_name,
+                        destination="mailbox-hub",
+                        round_number=ctx.round_number,
+                        payload=result.mailbox_messages,
+                        chain_id=chain.chain_id,
+                    )
+                )
                 report.dropped_unknown_recipients += deployment.mailboxes.deliver_batch(
-                    ctx.round_number, result.mailbox_messages
+                    ctx.round_number, messages
                 )
 
     def fetch(self, ctx: RoundContext) -> None:
@@ -196,6 +241,16 @@ class RoundEngine:
             if user.name in ctx.spec.offline_users:
                 continue
             inbox = deployment.mailboxes.get(ctx.round_number, user.public_bytes)
+            # The mailbox server sends the user her round's download.
+            inbox = deployment.transport.deliver(
+                Envelope(
+                    kind=MAILBOX_FETCH,
+                    source=deployment.mailboxes.server_name_for(user.public_bytes),
+                    destination=user.name,
+                    round_number=ctx.round_number,
+                    payload=inbox,
+                )
+            )
             report.mailbox_counts[user.name] = len(inbox)
             report.delivered[user.name] = user.decrypt_mailbox(
                 ctx.round_number, inbox, deployment.num_chains

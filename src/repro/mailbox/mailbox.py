@@ -88,6 +88,15 @@ class MailboxHub:
         digest = hashlib.sha256(owner).digest()
         return self.servers[int.from_bytes(digest[:8], "big") % len(self.servers)]
 
+    def server_name_for(self, owner: bytes) -> str:
+        """The name of the mailbox server holding ``owner``'s mailbox.
+
+        Transport envelopes name their endpoints; this is how the engine
+        labels a fetch with the true sharded source so per-link accounting
+        survives a multi-server mailbox tier.
+        """
+        return self._server_for(owner).name
+
     def create_mailbox(self, owner: bytes) -> Mailbox:
         return self._server_for(owner).create_mailbox(owner)
 

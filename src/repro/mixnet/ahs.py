@@ -38,8 +38,10 @@ from repro.crypto.nizk import (
 )
 from repro.crypto.group import scalar_mult_batch
 from repro.crypto.onion import InnerEnvelope, decrypt_inner, decrypt_outer_layer
-from repro.errors import MixingError, ProofError, ProtocolError
+from repro.errors import ProofError, ProtocolError
 from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage, batch_digest
+from repro.transport.envelope import BATCH, Envelope
+from repro.transport.inproc import InProcTransport
 
 __all__ = [
     "ChainPublicKeys",
@@ -394,12 +396,17 @@ class MixChain:
     since XRD's guarantees only require that *some* verifier is honest.
     """
 
-    def __init__(self, chain_id: int, members: Sequence[ChainMember], group) -> None:
+    def __init__(
+        self, chain_id: int, members: Sequence[ChainMember], group, transport=None
+    ) -> None:
         if not members:
             raise ProtocolError("a chain needs at least one member")
         self.chain_id = chain_id
         self.members = list(members)
         self.group = group
+        #: Carries the batch hand-offs between consecutive members (§6.3);
+        #: the deployment wires one shared transport into every chain.
+        self.transport = transport if transport is not None else InProcTransport()
         self.public_keys: Optional[ChainPublicKeys] = None
         self._inner_publics: Dict[int, List[object]] = {}
         self._aggregate_inner: Dict[int, object] = {}
@@ -508,6 +515,22 @@ class MixChain:
         """Per-position input batches observed during the round (for blame/tests)."""
         return self._history.get(round_number, [])
 
+    def _forward_batch(
+        self, round_number: int, index: int, entries: List[BatchEntry]
+    ) -> List[BatchEntry]:
+        """Send member ``index``'s output batch to its successor over the transport."""
+        if index + 1 >= len(self.members):
+            return entries
+        envelope = Envelope(
+            kind=BATCH,
+            source=self.members[index].server_name,
+            destination=self.members[index + 1].server_name,
+            round_number=round_number,
+            payload=entries,
+            chain_id=self.chain_id,
+        )
+        return self.transport.deliver(envelope)
+
     def run_round(self, round_number: int, retry_after_blame: bool = True) -> ChainRoundResult:
         """Execute the mixing phase for the round's accepted submissions.
 
@@ -529,7 +552,7 @@ class MixChain:
         history = [list(entries)]
         rejected_senders: List[str] = []
 
-        for member in self.members:
+        for index, member in enumerate(self.members):
             result = member.process_round(round_number, entries)
             if result.halted:
                 verdict = run_blame_protocol(
@@ -592,7 +615,10 @@ class MixChain:
                     misbehaving_server=member.server_name,
                     input_digest=digest,
                 )
-            entries = result.entries
+            # Hand the verified output batch to the next server (the real
+            # server→server wire of §6.3); the last member's output stays
+            # local for the inner-key reveal.
+            entries = self._forward_batch(round_number, index, result.entries)
             history.append(list(entries))
 
         self._history[round_number] = history

@@ -12,7 +12,7 @@ idling while upstream chains work (§5.2.1, last paragraph).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.constants import CHAIN_SECURITY_BITS, DEFAULT_MALICIOUS_FRACTION

@@ -18,9 +18,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.constants import AEAD_TAG_SIZE, GROUP_ELEMENT_SIZE, PAYLOAD_SIZE
+from repro.constants import (
+    AEAD_TAG_SIZE,
+    GROUP_ELEMENT_SIZE,
+    PAYLOAD_SIZE,
+    SCALAR_SIZE,
+    SENDER_FIELD_SIZE,
+)
 from repro.crypto.aead import adec, aenc
 from repro.crypto.nizk import SchnorrProof
 from repro.crypto.onion import pad_payload, unpad_payload
@@ -141,10 +147,50 @@ class ClientSubmission:
     cover: bool = False
 
     def to_bytes(self) -> bytes:
-        """Serialise for size accounting (proof = commitment || response)."""
-        header = self.chain_id.to_bytes(4, "big") + len(self.sender).to_bytes(2, "big")
-        proof_bytes = self.proof.commitment + self.proof.response.to_bytes(32, "little")
-        return header + self.sender.encode() + self.dh_public + proof_bytes + self.ciphertext
+        """Serialise to the fixed layout the entry server parses.
+
+        ``chain id (4) || sender length (2) || sender padded to
+        SENDER_FIELD_SIZE || X || proof commitment || proof response ||
+        ciphertext``.  The sender field is padded so every submission of a
+        deployment has the same wire size regardless of who sent it.
+        """
+        sender_bytes = self.sender.encode()
+        if len(sender_bytes) > SENDER_FIELD_SIZE:
+            raise CryptoError(f"sender name exceeds {SENDER_FIELD_SIZE} bytes")
+        header = self.chain_id.to_bytes(4, "big") + len(sender_bytes).to_bytes(2, "big")
+        sender_field = sender_bytes + b"\x00" * (SENDER_FIELD_SIZE - len(sender_bytes))
+        proof_bytes = self.proof.commitment + self.proof.response.to_bytes(SCALAR_SIZE, "little")
+        return header + sender_field + self.dh_public + proof_bytes + self.ciphertext
+
+    @classmethod
+    def from_bytes(cls, data: bytes, element_size: int = GROUP_ELEMENT_SIZE) -> "ClientSubmission":
+        """Parse the :meth:`to_bytes` layout (``element_size`` = encoded group element)."""
+        fixed = 6 + SENDER_FIELD_SIZE + 2 * element_size + SCALAR_SIZE
+        if len(data) < fixed:
+            raise DecodingError("client submission too short")
+        chain_id = int.from_bytes(data[:4], "big")
+        sender_length = int.from_bytes(data[4:6], "big")
+        if sender_length > SENDER_FIELD_SIZE:
+            raise DecodingError("client submission sender length exceeds the field size")
+        offset = 6
+        try:
+            sender = data[offset:offset + sender_length].decode()
+        except UnicodeDecodeError as exc:
+            raise DecodingError("client submission sender is not valid UTF-8") from exc
+        offset += SENDER_FIELD_SIZE
+        dh_public = data[offset:offset + element_size]
+        offset += element_size
+        commitment = data[offset:offset + element_size]
+        offset += element_size
+        response = int.from_bytes(data[offset:offset + SCALAR_SIZE], "little")
+        offset += SCALAR_SIZE
+        return cls(
+            chain_id=chain_id,
+            sender=sender,
+            dh_public=dh_public,
+            ciphertext=data[offset:],
+            proof=SchnorrProof(commitment=commitment, response=response),
+        )
 
     def wire_size(self) -> int:
         return len(self.to_bytes())
@@ -159,6 +205,41 @@ class BatchEntry:
 
     def digest_material(self, group) -> bytes:
         return group.encode(self.dh_public) + self.ciphertext
+
+    def to_bytes(self, group) -> bytes:
+        """``X (element) || ciphertext length (4) || ciphertext``.
+
+        The length prefix lets entries be concatenated into one batch blob
+        (ciphertext size shrinks by one AEAD tag per hop, so it is only
+        fixed *per position*, not globally).
+        """
+        return (
+            group.encode(self.dh_public)
+            + len(self.ciphertext).to_bytes(4, "big")
+            + self.ciphertext
+        )
+
+    @classmethod
+    def from_bytes(cls, group, data: bytes) -> "BatchEntry":
+        """Parse one entry occupying the whole of ``data``."""
+        entry, offset = cls.read_from(group, data, 0)
+        if offset != len(data):
+            raise DecodingError("trailing bytes after batch entry")
+        return entry
+
+    @classmethod
+    def read_from(cls, group, data: bytes, offset: int) -> Tuple["BatchEntry", int]:
+        """Parse one entry starting at ``offset``; return it and the next offset."""
+        element_size = group.element_size
+        if len(data) < offset + element_size + 4:
+            raise DecodingError("batch entry too short")
+        dh_public = group.decode(data[offset:offset + element_size])
+        offset += element_size
+        length = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        if len(data) < offset + length:
+            raise DecodingError("batch entry ciphertext truncated")
+        return cls(dh_public=dh_public, ciphertext=data[offset:offset + length]), offset + length
 
 
 def batch_digest(group, entries: Sequence[BatchEntry]) -> bytes:

@@ -8,7 +8,6 @@ the cost XRD pays for horizontal scalability (§8.1).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -18,6 +17,7 @@ from repro.constants import (
     DEFAULT_MALICIOUS_FRACTION,
     PAYLOAD_SIZE,
     ROUND_DURATION_SECONDS,
+    SUBMISSION_OVERHEAD,
 )
 from repro.crypto.onion import onion_size
 from repro.errors import SimulationError
@@ -25,12 +25,22 @@ from repro.mixnet.chain import required_chain_length
 from repro.mixnet.messages import mailbox_message_size
 from repro.simulation.costmodel import CostModel
 
-__all__ = ["UserCost", "xrd_user_bandwidth", "xrd_user_compute", "submission_wire_size"]
+__all__ = [
+    "UserCost",
+    "xrd_user_bandwidth",
+    "xrd_user_compute",
+    "submission_wire_size",
+    "deployment_user_bandwidth",
+]
 
-#: Serialisation overhead of one submission beyond the onion itself:
-#: chain id + sender length prefix (6), the Schnorr proof (32-byte commitment
-#: + 32-byte response) and the 32-byte outer DH key.
-_SUBMISSION_HEADER_BYTES = 6 + 64 + 32
+#: Serialisation overhead of one submission beyond the onion itself: chain
+#: id + sender length prefix (6), the fixed-width sender field, and the
+#: Schnorr proof (element commitment + scalar response).  The onion size
+#: already counts the outer DH key ``X``.  This is exactly
+#: ``repro.constants.SUBMISSION_OVERHEAD``, the overhead of
+#: ``ClientSubmission.to_bytes`` — the instrumented transport measures the
+#: same bytes this model predicts.
+_SUBMISSION_HEADER_BYTES = SUBMISSION_OVERHEAD
 
 
 @dataclass(frozen=True)
@@ -62,6 +72,36 @@ def submission_wire_size(
     return onion_size(chain_length, payload_size, ahs=ahs) + _SUBMISSION_HEADER_BYTES
 
 
+def deployment_user_bandwidth(
+    num_chains: int,
+    chain_length: int,
+    payload_size: int = PAYLOAD_SIZE,
+    cover_messages: bool = True,
+    num_servers: Optional[int] = None,
+) -> UserCost:
+    """Per-round user bandwidth from explicit chain parameters.
+
+    This is the arithmetic core of :func:`xrd_user_bandwidth`, exposed so a
+    prediction can be anchored to a *concrete* deployment (whose chain
+    length may be capped at its server count) and compared against the
+    bytes an instrumented transport actually measured — see
+    :func:`repro.analysis.measured.measured_vs_model_bandwidth`.
+    """
+    ell = ell_for_chains(num_chains)
+    per_message = submission_wire_size(chain_length, payload_size)
+    multiplier = 2 if cover_messages else 1
+    upload = multiplier * ell * per_message
+    download = ell * mailbox_message_size(payload_size)
+    return UserCost(
+        num_servers=num_servers if num_servers is not None else num_chains,
+        ell=ell,
+        chain_length=chain_length,
+        upload_bytes=upload,
+        download_bytes=download,
+        compute_seconds=0.0,
+    )
+
+
 def xrd_user_bandwidth(
     num_servers: int,
     malicious_fraction: float = DEFAULT_MALICIOUS_FRACTION,
@@ -72,19 +112,13 @@ def xrd_user_bandwidth(
 ) -> UserCost:
     """Per-round user bandwidth for a network of ``num_servers`` servers (Figure 2)."""
     num_chains = num_chains if num_chains is not None else num_servers
-    ell = ell_for_chains(num_chains)
     chain_length = required_chain_length(malicious_fraction, num_chains, security_bits)
-    per_message = submission_wire_size(chain_length, payload_size)
-    multiplier = 2 if cover_messages else 1
-    upload = multiplier * ell * per_message
-    download = ell * mailbox_message_size(payload_size)
-    return UserCost(
+    return deployment_user_bandwidth(
+        num_chains,
+        chain_length,
+        payload_size=payload_size,
+        cover_messages=cover_messages,
         num_servers=num_servers,
-        ell=ell,
-        chain_length=chain_length,
-        upload_bytes=upload,
-        download_bytes=download,
-        compute_seconds=0.0,
     )
 
 

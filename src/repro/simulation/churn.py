@@ -13,9 +13,9 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
-from repro.client.chain_selection import ell_for_chains, intersection_chain
+from repro.client.chain_selection import intersection_chain
 from repro.constants import CHAIN_SECURITY_BITS, DEFAULT_MALICIOUS_FRACTION
 from repro.crypto.randomness import PublicRandomnessBeacon
 from repro.errors import SimulationError

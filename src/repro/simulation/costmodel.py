@@ -14,7 +14,7 @@ Two flavours of :class:`CostModel` are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import SimulationError
 
@@ -136,6 +136,17 @@ class CostModel:
     def transmit_time(self, num_bytes: float) -> float:
         """Time to push ``num_bytes`` over one link."""
         return num_bytes / self.link_bandwidth
+
+    def link_time(self, num_bytes: float) -> float:
+        """One-way time for ``num_bytes`` to cross one link.
+
+        Half the round-trip time (propagation) plus the transmission time at
+        the link bandwidth.  This is the per-envelope latency the
+        instrumented transport charges, built from the same constants the
+        analytic latency model composes — so measured-from-traffic and
+        modelled figures are directly comparable.
+        """
+        return self.network_rtt / 2 + self.transmit_time(num_bytes)
 
     def client_message_cost(self, chain_length: int) -> float:
         """Client-side cost of building one AHS onion for a chain of ``chain_length``.

@@ -25,8 +25,7 @@ users triggering the blame protocol at the last server of a chain).
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.client.chain_selection import ell_for_chains
 from repro.constants import CHAIN_SECURITY_BITS, DEFAULT_MALICIOUS_FRACTION, PAYLOAD_SIZE

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
 
-from repro.crypto.aead import adec, aenc
+from repro.crypto.aead import aenc
 from repro.crypto.group import default_group
 from repro.crypto.nizk import prove_dlog, verify_dlog
 from repro.simulation.costmodel import CostModel

@@ -1,0 +1,61 @@
+"""The message-passing transport layer (DESIGN.md §5).
+
+Every cross-node interaction of the deployment — client→entry-server
+submission, server→server batch flow inside a chain, chain→mailbox
+delivery, and the user's mailbox fetch — travels as a typed
+:class:`Envelope` over a pluggable :class:`Transport`:
+
+* :class:`InProcTransport` — reference semantics: delivery hands the
+  payload object through unchanged (bit-identical to the pre-transport
+  in-process simulation).
+* :class:`InstrumentedTransport` — serialises each payload to its real
+  wire encoding, accounts bytes and modelled per-link latency in a
+  :class:`TrafficLedger`, and delivers the *decoded* payload, proving the
+  codecs lossless.
+
+The mix stage's :class:`~repro.engine.multiprocess.MultiprocessBackend`
+uses the same wire codecs (:mod:`repro.transport.codec`) to ship per-chain
+round state across process boundaries.
+"""
+
+from repro.errors import ConfigurationError
+from repro.transport.base import Transport
+from repro.transport.envelope import (
+    BATCH,
+    COVER_SUBMISSION,
+    ENVELOPE_KINDS,
+    MAILBOX_DELIVERY,
+    MAILBOX_FETCH,
+    SUBMISSION,
+    Envelope,
+)
+from repro.transport.inproc import InProcTransport
+from repro.transport.instrumented import InstrumentedTransport
+from repro.transport.metrics import LinkRecord, TrafficLedger
+
+__all__ = [
+    "Transport",
+    "InProcTransport",
+    "InstrumentedTransport",
+    "TrafficLedger",
+    "LinkRecord",
+    "Envelope",
+    "SUBMISSION",
+    "COVER_SUBMISSION",
+    "BATCH",
+    "MAILBOX_DELIVERY",
+    "MAILBOX_FETCH",
+    "ENVELOPE_KINDS",
+    "make_transport",
+]
+
+
+def make_transport(kind: str, group=None, cost_model=None) -> Transport:
+    """Build a transport from a :class:`DeploymentConfig`-style name."""
+    if kind == "inproc":
+        return InProcTransport()
+    if kind == "instrumented":
+        if group is None:
+            raise ConfigurationError("the instrumented transport needs the deployment's group")
+        return InstrumentedTransport(group, cost_model=cost_model)
+    raise ConfigurationError(f"unknown transport {kind!r}")

@@ -1,0 +1,50 @@
+"""The :class:`Transport` contract every implementation satisfies.
+
+A transport carries one :class:`~repro.transport.envelope.Envelope` across
+its link and returns the payload *as the destination observes it*.  The
+contract is deliberately synchronous — the deployment's round structure is
+globally synchronised anyway (§4), so a blocking ``deliver`` models exactly
+the information flow of the real system while keeping the protocol code
+free of callback plumbing.
+
+Implementations differ only in what happens on the way:
+
+* :class:`~repro.transport.inproc.InProcTransport` hands the payload object
+  straight through — the reference semantics, bit-identical to a method
+  call.
+* :class:`~repro.transport.instrumented.InstrumentedTransport` serialises
+  the payload to its real wire encoding, accounts the bytes and the
+  modelled link latency, and returns a payload *decoded from those bytes* —
+  so its parity with the in-process transport is also a proof that every
+  codec round-trips losslessly.
+
+A transport must be safe to call from multiple threads (the parallel
+backend mixes chains concurrently and the staggered scheduler overlaps
+collect with mix) and must tolerate being inherited across ``fork`` by the
+multiprocess backend.
+"""
+
+from __future__ import annotations
+
+from repro.transport.envelope import Envelope
+
+__all__ = ["Transport"]
+
+
+class Transport:
+    """Carries envelopes between the deployment's nodes."""
+
+    name: str = "abstract"
+
+    def deliver(self, envelope: Envelope) -> object:
+        """Carry ``envelope`` across its link; return the payload received."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any transport resources; idempotent."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

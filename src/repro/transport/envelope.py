@@ -1,0 +1,99 @@
+"""Typed envelopes: the unit every cross-node interaction travels in.
+
+An :class:`Envelope` names the logical link it crosses (``source`` →
+``destination``, both node names from the deployment's Figure 1 topology),
+the protocol flow it belongs to (``kind``), and carries the typed payload.
+Four kinds cover every cross-node interaction of the system:
+
+* ``SUBMISSION`` / ``COVER_SUBMISSION`` — a user's
+  :class:`~repro.mixnet.messages.ClientSubmission` to the entry server of
+  one of her assigned chains (§6.2); covers are banked with the coordinator
+  one round ahead (§5.3.3) and are distinguished only so accounting can
+  attribute them.
+* ``BATCH`` — the list of :class:`~repro.mixnet.messages.BatchEntry` pairs
+  one chain server hands to its successor during mixing (§6.3).
+* ``MAILBOX_DELIVERY`` — the recovered
+  :class:`~repro.mixnet.messages.MailboxMessage` batch the last server of a
+  chain sends to the mailbox servers.
+* ``MAILBOX_FETCH`` — a user's mailbox download for the round.
+
+Payloads stay typed objects in the envelope; it is the *transport* that
+decides whether crossing the link serialises them (see
+:mod:`repro.transport.codec` for the wire encodings, which are exactly the
+``to_bytes``/``from_bytes`` formats of :mod:`repro.mixnet.messages`).
+
+This module is import-light on purpose: client and mixnet code can build
+envelopes without pulling in the codec (and its imports) transitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Envelope",
+    "SUBMISSION",
+    "COVER_SUBMISSION",
+    "BATCH",
+    "MAILBOX_DELIVERY",
+    "MAILBOX_FETCH",
+    "ENVELOPE_KINDS",
+    "submission_envelope",
+]
+
+#: A user's per-chain submission to the chain's entry server.
+SUBMISSION = "submission"
+#: A banked next-round cover submission (uploaded one round early, §5.3.3).
+COVER_SUBMISSION = "cover-submission"
+#: The entry batch one chain server forwards to its successor.
+BATCH = "batch"
+#: Recovered mailbox messages, last chain server → mailbox servers.
+MAILBOX_DELIVERY = "mailbox-delivery"
+#: A user's mailbox download, mailbox server → user.
+MAILBOX_FETCH = "mailbox-fetch"
+
+ENVELOPE_KINDS = (SUBMISSION, COVER_SUBMISSION, BATCH, MAILBOX_DELIVERY, MAILBOX_FETCH)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message crossing one logical link of the deployment."""
+
+    kind: str
+    source: str
+    destination: str
+    round_number: int
+    payload: object
+    #: The chain this envelope belongs to, when the flow is chain-scoped
+    #: (submissions and batches); lets accounting reconstruct per-chain
+    #: critical paths.
+    chain_id: Optional[int] = None
+
+
+def submission_envelope(
+    submission, entry_servers: Dict[int, str], upload_round: int
+) -> Envelope:
+    """Address one client submission to its chain's entry server.
+
+    The single place the submission→envelope mapping lives: the honest
+    client path (:meth:`repro.client.user.User.submission_envelopes`) and
+    the engine's injected-submission path both build through here.
+    ``upload_round`` is the round in which the bytes cross the uplink — for
+    covers that is one round *before* the round their contents are built
+    for (§5.3.3: covers are banked with the coordinator ahead of time); the
+    submission's own round number is bound inside its NIZK context and
+    ciphertexts, not repeated on the envelope.
+    """
+    if submission.chain_id not in entry_servers:
+        raise ConfigurationError(f"no entry server for chain {submission.chain_id}")
+    return Envelope(
+        kind=COVER_SUBMISSION if submission.cover else SUBMISSION,
+        source=submission.sender,
+        destination=entry_servers[submission.chain_id],
+        round_number=upload_round,
+        payload=submission,
+        chain_id=submission.chain_id,
+    )

@@ -1,0 +1,23 @@
+"""The in-process reference transport: delivery is a hand-off.
+
+``deliver`` returns the payload object unchanged, making the transport seam
+cost-free and the observable behaviour bit-identical to the pre-transport
+code where "sending" was a method call.  Every other transport is measured
+against this one by the parity suite.
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import Transport
+from repro.transport.envelope import Envelope
+
+__all__ = ["InProcTransport"]
+
+
+class InProcTransport(Transport):
+    """Reference semantics: the destination sees the sender's own objects."""
+
+    name = "inproc"
+
+    def deliver(self, envelope: Envelope) -> object:
+        return envelope.payload

@@ -10,8 +10,6 @@ then show that the same attack against an AHS chain is detected instead of
 leaking, which is the entire point of the aggregate hybrid shuffle.
 """
 
-import random
-
 from repro.crypto.keys import KeyPair
 from repro.mixnet.ahs import ChainRoundResult
 from repro.mixnet.messages import MailboxMessage, MessageBody

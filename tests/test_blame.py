@@ -1,12 +1,10 @@
 """Tests for the blame protocol (§6.4): convict the guilty, never the honest."""
 
-import random
-
 import pytest
 
 from repro.crypto.keys import KeyPair
 from repro.errors import BlameError
-from repro.mixnet.ahs import ChainRoundResult, MixChain, ChainMember
+from repro.mixnet.ahs import ChainRoundResult
 from repro.mixnet.blame import BlameVerdict, run_blame_protocol
 from repro.coordinator.adversary import (
     MODE_PRESERVE_AGGREGATE,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.client.user import ReceivedMessage
 from repro.errors import ConfigurationError
-from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.coordinator.network import DeploymentConfig
 
 from tests.conftest import make_deployment
 

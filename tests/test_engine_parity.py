@@ -1,18 +1,26 @@
-"""Engine parity: every backend/scheduler combination is bit-identical.
+"""Engine parity: every transport/backend/scheduler combination is bit-identical.
 
-The acceptance property of the engine refactor: with a fixed deployment
-seed, ``SerialBackend``, ``ParallelBackend``, and the staggered scheduler
-deliver byte-identical :class:`RoundReport` payloads across multi-round
+The acceptance property of the engine and transport refactors: with a fixed
+deployment seed, every cell of the matrix
+
+    {InProcTransport, InstrumentedTransport}
+        × {SerialBackend, ParallelBackend, MultiprocessBackend}
+        × {sequential, staggered}
+
+delivers byte-identical :class:`RoundReport` payloads across multi-round
 conversations, including offline/cover rounds and adversarial extra
 submissions.  ``RoundReport.canonical_bytes`` hashes everything observable
 about a round (delivered messages, mailbox counts, per-chain statuses and
 mailbox message bytes, rejections, cover plays), so equality here means the
-execution strategy is unobservable.
+execution strategy *and* the transport are unobservable.  For the
+instrumented transport the property is stronger still: every delivered
+payload was re-decoded from its wire bytes, so parity proves the codecs of
+:mod:`repro.transport.codec` lossless.
 """
 
 import pytest
 
-from repro.coordinator.network import Deployment, DeploymentConfig, RoundSpec
+from repro.coordinator.network import Deployment, DeploymentConfig
 from repro.engine import (
     ParallelBackend,
     RoundEngine,
@@ -24,8 +32,15 @@ from repro.errors import ConfigurationError
 
 from tests.test_ahs_protocol import make_submission
 
+BACKENDS = ("serial", "parallel", "multiprocess")
+TRANSPORTS = ("inproc", "instrumented")
 
-def build(backend="serial", seed=42, **kwargs):
+
+def build(backend="serial", seed=42, transport="inproc", **kwargs):
+    # Pin the worker count so the multiprocess cells really fork (and
+    # wire-encode their results) even on single-core CI runners, where the
+    # cpu-count default would fall back to inline execution.
+    kwargs.setdefault("max_workers", 2)
     config = DeploymentConfig(
         num_servers=4,
         num_users=6,
@@ -34,6 +49,7 @@ def build(backend="serial", seed=42, **kwargs):
         seed=seed,
         group_kind="modp",
         execution_backend=backend,
+        transport=transport,
         **kwargs,
     )
     return Deployment.create(config)
@@ -60,6 +76,44 @@ def conversation_script(deployment):
 
 def fingerprints(reports):
     return [report.canonical_bytes() for report in reports]
+
+
+class TestTransportBackendMatrix:
+    """The full transports × backends parity matrix on the six-round script."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        deployment = build("serial", transport="inproc")
+        return fingerprints(deployment.run_rounds(conversation_script(deployment)))
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matrix_cell_matches_reference(self, reference, transport, backend):
+        deployment = build(backend, transport=transport)
+        actual = fingerprints(deployment.run_rounds(conversation_script(deployment)))
+        deployment.close()
+        assert actual == reference
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matrix_cell_matches_reference_staggered(self, reference, transport, backend):
+        deployment = build(backend, transport=transport)
+        actual = fingerprints(
+            deployment.run_rounds(conversation_script(deployment), staggered=True)
+        )
+        deployment.close()
+        assert actual == reference
+
+    def test_instrumented_ledgers_agree_across_backends(self):
+        """Per-round byte totals are backend-independent, worker-merged or not."""
+        totals = []
+        for backend in BACKENDS:
+            deployment = build(backend, transport="instrumented")
+            deployment.run_rounds(conversation_script(deployment))
+            ledger = deployment.traffic_ledger
+            totals.append([ledger.bytes_by_kind(r) for r in range(1, 7)])
+            deployment.close()
+        assert totals[0] == totals[1] == totals[2]
 
 
 class TestBackendParity:
@@ -111,8 +165,8 @@ class TestBackendParity:
     def test_parity_with_rejected_extra_submissions(self):
         """An adversarial submission with a bogus proof is rejected identically."""
 
-        def run(backend, staggered):
-            deployment = build(backend, seed=9)
+        def run(backend, staggered, transport="inproc"):
+            deployment = build(backend, seed=9, transport=transport)
             chain = deployment.chains[0]
             deployment.engine.announce(1)
             forged = make_submission(
@@ -140,8 +194,15 @@ class TestBackendParity:
 
         expected = run("serial", False)
         assert expected[0].rejected_senders == ["mallory"]
-        for backend, staggered in (("parallel", False), ("serial", True), ("parallel", True)):
-            reports = run(backend, staggered)
+        for backend, staggered, transport in (
+            ("parallel", False, "inproc"),
+            ("serial", True, "inproc"),
+            ("parallel", True, "inproc"),
+            ("serial", False, "instrumented"),
+            ("multiprocess", False, "inproc"),
+            ("multiprocess", True, "instrumented"),
+        ):
+            reports = run(backend, staggered, transport)
             assert fingerprints(reports) == fingerprints(expected)
 
     def test_staggered_defers_notice_targets_only(self):

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.group import Ed25519Group, Point, default_group
+from repro.crypto.group import Ed25519Group, default_group
 from repro.errors import DecodingError
 
 GROUP = Ed25519Group()

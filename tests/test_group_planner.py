@@ -1,8 +1,6 @@
 """Tests for the §9 group-conversation planner."""
 
 import hashlib
-from itertools import combinations
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

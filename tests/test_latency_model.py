@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation.costmodel import CostModel
 from repro.simulation.latency import (
     blame_latency,
     messages_per_chain,

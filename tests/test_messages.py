@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.constants import GROUP_ELEMENT_SIZE, PAYLOAD_SIZE
+from repro.constants import (
+    AEAD_TAG_SIZE,
+    GROUP_ELEMENT_SIZE,
+    PAYLOAD_SIZE,
+    SCALAR_SIZE,
+    SENDER_FIELD_SIZE,
+    SUBMISSION_OVERHEAD,
+)
 from repro.crypto.nizk import prove_dlog
 from repro.errors import CryptoError, DecodingError
 from repro.mixnet import messages
@@ -70,6 +77,11 @@ class TestMailboxMessage:
         long = MailboxMessage.seal(RECIPIENT, KEY, 1, MessageBody.data(b"a" * 200))
         assert len(short) == len(long) == mailbox_message_size()
 
+    def test_wire_size_against_constants(self):
+        assert mailbox_message_size() == GROUP_ELEMENT_SIZE + PAYLOAD_SIZE + AEAD_TAG_SIZE
+        message = MailboxMessage.seal(RECIPIENT, KEY, 1, MessageBody.data(b"x"))
+        assert len(message.to_bytes()) == mailbox_message_size()
+
     def test_serialisation_roundtrip(self):
         message = MailboxMessage.seal(RECIPIENT, KEY, 1, MessageBody.data(b"x"))
         restored = MailboxMessage.from_bytes(message.to_bytes())
@@ -85,23 +97,121 @@ class TestMailboxMessage:
 
 
 class TestClientSubmission:
-    def test_wire_size_accounting(self, group):
+    @staticmethod
+    def make(group, sender="alice", chain_id=2, ciphertext=b"c" * 100):
         secret = group.random_scalar()
         proof = prove_dlog(group, group.base(), secret)
-        submission = ClientSubmission(
-            chain_id=2,
-            sender="alice",
+        return ClientSubmission(
+            chain_id=chain_id,
+            sender=sender,
             dh_public=group.encode(group.base_mult(secret)),
-            ciphertext=b"c" * 100,
+            ciphertext=ciphertext,
             proof=proof,
         )
+
+    def test_wire_size_accounting(self, group):
+        submission = self.make(group)
         assert submission.wire_size() == len(submission.to_bytes())
         assert submission.wire_size() > 100 + 32
+
+    def test_wire_size_against_constants(self, group):
+        """``wire_size = SUBMISSION_OVERHEAD + |X| + |ciphertext|`` exactly."""
+        submission = self.make(group, ciphertext=b"c" * 321)
+        assert submission.wire_size() == SUBMISSION_OVERHEAD + GROUP_ELEMENT_SIZE + 321
+        assert SUBMISSION_OVERHEAD == 4 + 2 + SENDER_FIELD_SIZE + GROUP_ELEMENT_SIZE + SCALAR_SIZE
+
+    def test_wire_size_independent_of_sender_name(self, group):
+        """The padded sender field keeps submissions uniform across users."""
+        short = self.make(group, sender="a")
+        long = self.make(group, sender="user-123456789")
+        assert short.wire_size() == long.wire_size()
+
+    def test_round_trip(self, group):
+        submission = self.make(group, sender="user-7", chain_id=11)
+        decoded = ClientSubmission.from_bytes(
+            submission.to_bytes(), element_size=group.element_size
+        )
+        assert decoded == submission
+
+    def test_round_trip_empty_sender_and_ciphertext(self, group):
+        submission = self.make(group, sender="", ciphertext=b"")
+        decoded = ClientSubmission.from_bytes(submission.to_bytes())
+        assert decoded == submission
+
+    def test_oversized_sender_rejected(self, group):
+        submission = self.make(group, sender="x" * (SENDER_FIELD_SIZE + 1))
+        with pytest.raises(CryptoError):
+            submission.to_bytes()
+
+    def test_from_bytes_too_short(self):
+        with pytest.raises(DecodingError):
+            ClientSubmission.from_bytes(b"\x00" * 10)
+
+    def test_from_bytes_bogus_sender_length(self, group):
+        wire = bytearray(self.make(group).to_bytes())
+        wire[4:6] = (SENDER_FIELD_SIZE + 1).to_bytes(2, "big")
+        with pytest.raises(DecodingError):
+            ClientSubmission.from_bytes(bytes(wire))
+
+    def test_from_bytes_non_utf8_sender(self, group):
+        """Malformed input raises DecodingError, never UnicodeDecodeError."""
+        wire = bytearray(self.make(group, sender="ab").to_bytes())
+        wire[6] = 0x80
+        with pytest.raises(DecodingError):
+            ClientSubmission.from_bytes(bytes(wire))
 
     def test_cover_flag_default(self, group):
         proof = prove_dlog(group, group.base(), group.random_scalar())
         submission = ClientSubmission(1, "bob", b"\x00" * 32, b"ct", proof)
         assert submission.cover is False
+
+    def test_cover_flag_not_on_the_wire(self, group):
+        """Covers must be indistinguishable from other submissions (§5.3.3)."""
+        submission = self.make(group)
+        cover = ClientSubmission(
+            chain_id=submission.chain_id,
+            sender=submission.sender,
+            dh_public=submission.dh_public,
+            ciphertext=submission.ciphertext,
+            proof=submission.proof,
+            cover=True,
+        )
+        assert cover.to_bytes() == submission.to_bytes()
+        assert ClientSubmission.from_bytes(cover.to_bytes()).cover is False
+
+
+class TestBatchEntry:
+    def test_round_trip(self, group):
+        entry = BatchEntry(dh_public=group.base_mult(7), ciphertext=b"xyz" * 11)
+        decoded = BatchEntry.from_bytes(group, entry.to_bytes(group))
+        assert decoded == entry
+
+    def test_wire_size_against_constants(self, group):
+        entry = BatchEntry(dh_public=group.base_mult(3), ciphertext=b"c" * 40)
+        assert len(entry.to_bytes(group)) == GROUP_ELEMENT_SIZE + 4 + 40
+
+    def test_empty_ciphertext(self, group):
+        entry = BatchEntry(dh_public=group.base_mult(2), ciphertext=b"")
+        assert BatchEntry.from_bytes(group, entry.to_bytes(group)) == entry
+
+    def test_concatenated_entries_read_in_sequence(self, group):
+        entries = [
+            BatchEntry(dh_public=group.base_mult(index + 1), ciphertext=bytes([index]) * index)
+            for index in range(5)
+        ]
+        blob = b"".join(entry.to_bytes(group) for entry in entries)
+        offset, decoded = 0, []
+        while offset < len(blob):
+            entry, offset = BatchEntry.read_from(group, blob, offset)
+            decoded.append(entry)
+        assert decoded == entries
+
+    def test_truncation_rejected(self, group):
+        wire = BatchEntry(dh_public=group.base_mult(5), ciphertext=b"c" * 10).to_bytes(group)
+        with pytest.raises(DecodingError):
+            BatchEntry.from_bytes(group, wire[:-1])
+        with pytest.raises(DecodingError):
+            BatchEntry.from_bytes(group, wire + b"\x00")
 
 
 class TestBatchDigest:

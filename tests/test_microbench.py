@@ -1,6 +1,5 @@
 """Tests for the primitive microbenchmarks and the measured cost model."""
 
-from repro.crypto.group import ModPGroup
 from repro.simulation.microbench import measure_primitives, measured_cost_model
 
 

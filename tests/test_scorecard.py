@@ -1,7 +1,5 @@
 """Tests for the machine-checkable reproduction scorecard."""
 
-import pytest
-
 from repro.analysis.scorecard import ScorecardEntry, build_scorecard, render_scorecard
 
 

@@ -1,0 +1,303 @@
+"""Transport layer: envelopes, codecs, accounting, and the fork backend."""
+
+import pytest
+
+from repro.constants import SUBMISSION_OVERHEAD
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.crypto.nizk import prove_dlog
+from repro.engine.multiprocess import MultiprocessBackend
+from repro.errors import ConfigurationError, DecodingError
+from repro.mixnet.ahs import ChainRoundResult
+from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage, MessageBody
+from repro.simulation.costmodel import CostModel
+from repro.transport import (
+    BATCH,
+    MAILBOX_DELIVERY,
+    MAILBOX_FETCH,
+    SUBMISSION,
+    Envelope,
+    InProcTransport,
+    InstrumentedTransport,
+    LinkRecord,
+    TrafficLedger,
+    make_transport,
+)
+from repro.transport.codec import (
+    decode_chain_outcome,
+    decode_payload,
+    encode_chain_outcome,
+    encode_payload,
+)
+
+RECIPIENT = b"\x09" * 32
+KEY = b"\x05" * 32
+
+
+def make_submission(group, chain_id=1, sender="alice", ciphertext=b"c" * 64):
+    secret = group.random_scalar()
+    proof = prove_dlog(group, group.base(), secret)
+    return ClientSubmission(
+        chain_id=chain_id,
+        sender=sender,
+        dh_public=group.encode(group.base_mult(secret)),
+        ciphertext=ciphertext,
+        proof=proof,
+    )
+
+
+def envelope(kind, payload, **kwargs):
+    defaults = dict(source="src", destination="dst", round_number=1)
+    defaults.update(kwargs)
+    return Envelope(kind=kind, payload=payload, **defaults)
+
+
+class TestCodecRoundTrips:
+    def test_submission_payload(self, group):
+        submission = make_submission(group)
+        wire = encode_payload(group, envelope(SUBMISSION, submission))
+        assert len(wire) == submission.wire_size()
+        decoded = decode_payload(group, SUBMISSION, wire)
+        assert decoded == submission
+
+    def test_batch_payload(self, group):
+        entries = [
+            BatchEntry(dh_public=group.base_mult(index + 1), ciphertext=bytes([index]) * index)
+            for index in range(4)
+        ]
+        wire = encode_payload(group, envelope(BATCH, entries, chain_id=0))
+        decoded = decode_payload(group, BATCH, wire)
+        assert decoded == entries
+
+    def test_mailbox_payloads(self, group):
+        messages = [
+            MailboxMessage.seal(RECIPIENT, KEY, 3, MessageBody.data(b"m%d" % index))
+            for index in range(3)
+        ]
+        for kind in (MAILBOX_DELIVERY, MAILBOX_FETCH):
+            wire = encode_payload(group, envelope(kind, messages))
+            assert decode_payload(group, kind, wire) == messages
+
+    def test_empty_batches(self, group):
+        assert decode_payload(group, BATCH, encode_payload(group, envelope(BATCH, []))) == []
+        assert (
+            decode_payload(
+                group, MAILBOX_FETCH, encode_payload(group, envelope(MAILBOX_FETCH, []))
+            )
+            == []
+        )
+
+    def test_trailing_bytes_rejected(self, group):
+        wire = encode_payload(group, envelope(BATCH, [BatchEntry(group.base_mult(2), b"ct")]))
+        with pytest.raises(DecodingError):
+            decode_payload(group, BATCH, wire + b"\x00")
+
+    def test_chain_outcome_round_trip(self):
+        result = ChainRoundResult(
+            chain_id=3,
+            round_number=9,
+            status=ChainRoundResult.STATUS_DELIVERED,
+            mailbox_messages=[MailboxMessage.seal(RECIPIENT, KEY, 9, MessageBody.loopback())],
+            rejected_senders=["mallory"],
+            invalid_inner_count=2,
+            input_digest=b"\xaa" * 32,
+        )
+        wire = encode_chain_outcome(3, ["eve"], result)
+        chain_id, accept_rejected, decoded = decode_chain_outcome(wire)
+        assert chain_id == 3
+        assert accept_rejected == ["eve"]
+        assert decoded == result
+
+    def test_chain_outcome_none_vs_empty_strings(self):
+        result = ChainRoundResult(
+            chain_id=0,
+            round_number=1,
+            status=ChainRoundResult.STATUS_HALTED_SERVER,
+            misbehaving_server="",
+            input_digest=b"",
+        )
+        _, _, decoded = decode_chain_outcome(encode_chain_outcome(0, [], result))
+        assert decoded.misbehaving_server == ""
+        result_none = ChainRoundResult(
+            chain_id=0, round_number=1, status=ChainRoundResult.STATUS_DELIVERED
+        )
+        _, _, decoded = decode_chain_outcome(encode_chain_outcome(0, [], result_none))
+        assert decoded.misbehaving_server is None
+
+
+class TestTransports:
+    def test_inproc_is_identity(self):
+        transport = InProcTransport()
+        payload = object()
+        assert transport.deliver(envelope(SUBMISSION, payload)) is payload
+
+    def test_instrumented_records_wire_bytes(self, group):
+        transport = InstrumentedTransport(group, cost_model=CostModel.paper_testbed())
+        submission = make_submission(group)
+        delivered = transport.deliver(
+            envelope(SUBMISSION, submission, source="alice", destination="server-0", chain_id=1)
+        )
+        assert delivered == submission
+        assert delivered is not submission
+        [record] = transport.ledger.records
+        assert record.num_bytes == submission.wire_size()
+        assert record.seconds == transport.cost_model.link_time(record.num_bytes)
+        assert (record.source, record.destination, record.chain_id) == ("alice", "server-0", 1)
+
+    def test_make_transport(self, group):
+        assert make_transport("inproc").name == "inproc"
+        assert make_transport("instrumented", group=group).name == "instrumented"
+        with pytest.raises(ConfigurationError):
+            make_transport("instrumented")
+        with pytest.raises(ConfigurationError):
+            make_transport("carrier-pigeon")
+
+
+class TestTrafficLedger:
+    @staticmethod
+    def record(round_number=1, kind=SUBMISSION, source="u", destination="s",
+               num_bytes=100, seconds=0.1, chain_id=None):
+        return LinkRecord(round_number, kind, source, destination, num_bytes, seconds, chain_id)
+
+    def test_totals_and_filters(self):
+        ledger = TrafficLedger()
+        ledger.append(self.record(num_bytes=10))
+        ledger.append(self.record(round_number=2, num_bytes=20))
+        ledger.append(self.record(kind=MAILBOX_FETCH, num_bytes=5))
+        assert ledger.total_bytes() == 35
+        assert ledger.total_bytes(round_number=1) == 15
+        assert ledger.total_bytes(kinds=[SUBMISSION]) == 30
+        assert ledger.bytes_by_kind(1) == {SUBMISSION: 10, MAILBOX_FETCH: 5}
+
+    def test_per_user_bytes(self):
+        ledger = TrafficLedger()
+        ledger.append(self.record(source="alice", num_bytes=100))
+        ledger.append(self.record(source="alice", num_bytes=50))
+        ledger.append(self.record(kind=MAILBOX_FETCH, destination="alice", num_bytes=30))
+        ledger.append(self.record(kind=MAILBOX_FETCH, destination="bob", num_bytes=40))
+        assert ledger.per_user_bytes(1) == {"alice": (150, 30), "bob": (0, 40)}
+
+    def test_round_latency_critical_path(self):
+        ledger = TrafficLedger()
+        ledger.append(self.record(seconds=0.2))
+        ledger.append(self.record(seconds=0.1))
+        ledger.append(self.record(kind=BATCH, chain_id=0, seconds=0.3))
+        ledger.append(self.record(kind=BATCH, chain_id=0, seconds=0.3))
+        ledger.append(self.record(kind=BATCH, chain_id=1, seconds=0.5))
+        ledger.append(self.record(kind=MAILBOX_DELIVERY, chain_id=1, seconds=0.2))
+        ledger.append(self.record(kind=MAILBOX_FETCH, seconds=0.4))
+        # slowest upload (0.2) + slowest chain (0.5 + 0.2 delivery) + fetch (0.4)
+        assert ledger.round_latency_seconds(1) == pytest.approx(1.3)
+        assert ledger.chain_hop_seconds(1) == {0: pytest.approx(0.6), 1: pytest.approx(0.5)}
+
+    def test_record_tuple_round_trip(self):
+        record = self.record(chain_id=4)
+        assert LinkRecord.from_tuple(record.to_tuple()) == record
+
+
+class TestMultiprocessBackend:
+    def test_generic_map_preserves_order(self):
+        backend = MultiprocessBackend(max_workers=3)
+        assert backend.map_chains(lambda v: v * v, list(range(10))) == [
+            v * v for v in range(10)
+        ]
+        backend.close()
+
+    def test_single_chain_runs_inline(self):
+        backend = MultiprocessBackend(max_workers=4)
+        assert backend.map_chains(lambda v: v + 1, [41]) == [42]
+
+    def test_first_exception_propagates(self):
+        backend = MultiprocessBackend(max_workers=2)
+
+        def boom(value):
+            if value >= 2:
+                raise RuntimeError("chain %d exploded" % value)
+            return value
+
+        with pytest.raises(RuntimeError, match="chain 2 exploded"):
+            backend.map_chains(boom, [0, 1, 2, 3])
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiprocessBackend(max_workers=0)
+
+    def test_chain_outcomes_cross_as_wire_bytes(self):
+        """A real mix round's outcomes survive the fork-and-encode trip."""
+        deployment = Deployment.create(
+            DeploymentConfig(
+                num_servers=4,
+                num_users=4,
+                num_chains=2,
+                chain_length=2,
+                seed=5,
+                group_kind="modp",
+                execution_backend="multiprocess",
+                max_workers=2,
+            )
+        )
+        report = deployment.run_round()
+        assert report.all_chains_delivered()
+        assert report.total_submissions == 4 * deployment.ell()
+        deployment.close()
+
+
+class TestDeploymentWiring:
+    def test_chains_share_the_deployment_transport(self):
+        deployment = Deployment.create(
+            DeploymentConfig(
+                num_servers=3, num_users=2, num_chains=2, chain_length=2,
+                seed=1, group_kind="modp", transport="instrumented",
+            )
+        )
+        assert all(chain.transport is deployment.transport for chain in deployment.chains)
+        assert deployment.traffic_ledger is deployment.transport.ledger
+        deployment.run_round()
+        kinds = set(deployment.traffic_ledger.bytes_by_kind(1))
+        assert {SUBMISSION, BATCH, MAILBOX_DELIVERY, MAILBOX_FETCH} <= kinds
+        deployment.close()
+
+    def test_use_transport_rewires_chains(self):
+        deployment = Deployment.create(
+            DeploymentConfig(
+                num_servers=3, num_users=2, num_chains=2, chain_length=2,
+                seed=1, group_kind="modp",
+            )
+        )
+        replacement = InstrumentedTransport(deployment.group)
+        deployment.use_transport(replacement)
+        assert deployment.transport is replacement
+        assert all(chain.transport is replacement for chain in deployment.chains)
+        deployment.run_round()
+        assert replacement.ledger.total_bytes() > 0
+        deployment.close()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(transport="udp").validate()
+
+    def test_entry_servers_are_chain_heads(self):
+        deployment = Deployment.create(
+            DeploymentConfig(
+                num_servers=4, num_users=2, num_chains=3, chain_length=2,
+                seed=3, group_kind="modp",
+            )
+        )
+        for topology in deployment.topologies:
+            assert deployment.entry_servers[topology.chain_id] == topology.servers[0]
+
+
+class TestWireOverheadConstant:
+    def test_submission_wire_size_is_overhead_plus_onion(self, group):
+        from repro.crypto.onion import onion_size
+
+        deployment = Deployment.create(
+            DeploymentConfig(
+                num_servers=3, num_users=2, num_chains=2, chain_length=3,
+                seed=2, group_kind="modp",
+            )
+        )
+        report = deployment.run_round()
+        assert report.total_submissions > 0
+        chain = deployment.chains[0]
+        for submission in chain.submissions_for_round(1):
+            assert submission.wire_size() == SUBMISSION_OVERHEAD + onion_size(3)
