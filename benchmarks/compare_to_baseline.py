@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: diff a fresh pytest-benchmark JSON run against
+the committed baseline and fail on regression.
+
+Raw wall-clock comparisons across CI runners are meaningless — a slow runner
+would fail every benchmark, a fast one would hide real regressions.  The
+gate therefore *normalises by machine speed*: it computes each benchmark's
+fresh/baseline mean ratio, takes the median ratio as the machine-speed
+calibration factor, and flags a benchmark only when its own ratio exceeds
+the median by more than the tolerance band.  A genuine regression slows one
+benchmark relative to the others; a slow machine slows them all and leaves
+every normalised ratio near 1.
+
+Exit status: 0 when every shared benchmark is inside the band, 1 on any
+regression or when a baseline benchmark is missing from the fresh run (a
+silently-dropped benchmark must not pass the gate).  New benchmarks absent
+from the baseline only warn — add them with ``--write-baseline``.
+
+Usage::
+
+    python -m pytest benchmarks/... --benchmark-json=benchmark-results.json
+    python benchmarks/compare_to_baseline.py \
+        --fresh benchmark-results.json \
+        --baseline benchmarks/baselines/baseline.json \
+        --tolerance 0.5
+
+``--write-baseline`` rewrites the baseline from the fresh run (for
+intentional performance changes; commit the result).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+from typing import Dict
+
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baselines" / "baseline.json"
+
+#: Allowed normalised slowdown (0.5 → a benchmark may run up to 50% slower
+#: than the machine-speed-corrected baseline before the gate fails).  Wide
+#: on purpose: shared CI runners are noisy, and the gate should only catch
+#: real regressions, not scheduling jitter.
+DEFAULT_TOLERANCE = 0.5
+
+#: Below this many shared benchmarks the median is not a meaningful
+#: calibration factor; fall back to raw ratios with a wider band.
+MIN_BENCHMARKS_FOR_CALIBRATION = 3
+FALLBACK_TOLERANCE = 1.0
+
+
+def load_means(path: pathlib.Path) -> Dict[str, float]:
+    """``{benchmark fullname: mean seconds}`` from a pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    means = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        mean = bench.get("stats", {}).get("mean")
+        if name and mean:
+            means[name] = float(mean)
+    return means
+
+
+def write_baseline(fresh_path: pathlib.Path, baseline_path: pathlib.Path) -> None:
+    """Store a trimmed baseline: per-benchmark means plus provenance."""
+    data = json.loads(fresh_path.read_text())
+    trimmed = {
+        "comment": (
+            "Benchmark baseline for compare_to_baseline.py. Regenerate with "
+            "--write-baseline after intentional performance changes."
+        ),
+        "machine_info": data.get("machine_info", {}),
+        "benchmarks": [
+            {
+                "fullname": bench.get("fullname") or bench.get("name"),
+                "stats": {"mean": bench["stats"]["mean"]},
+            }
+            for bench in data.get("benchmarks", [])
+            if bench.get("stats", {}).get("mean")
+        ],
+    }
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(json.dumps(trimmed, indent=2, sort_keys=True) + "\n")
+    print(f"wrote baseline with {len(trimmed['benchmarks'])} benchmarks to {baseline_path}")
+
+
+def compare(
+    fresh: Dict[str, float], baseline: Dict[str, float], tolerance: float
+) -> int:
+    shared = sorted(set(fresh) & set(baseline))
+    missing = sorted(set(baseline) - set(fresh))
+    new = sorted(set(fresh) - set(baseline))
+
+    failures = []
+    if missing:
+        for name in missing:
+            failures.append(f"MISSING  {name}: in the baseline but not in the fresh run")
+    for name in new:
+        print(f"NEW      {name}: not in the baseline (add with --write-baseline)")
+
+    if not shared:
+        print("no shared benchmarks between fresh run and baseline")
+        return 1
+
+    ratios = {name: fresh[name] / baseline[name] for name in shared}
+    if len(shared) >= MIN_BENCHMARKS_FOR_CALIBRATION:
+        calibration = statistics.median(ratios.values())
+        band = tolerance
+        print(
+            f"machine-speed calibration: median ratio {calibration:.3f} "
+            f"over {len(shared)} benchmarks; tolerance ±{band:.0%}"
+        )
+    else:
+        calibration = 1.0
+        band = max(tolerance, FALLBACK_TOLERANCE)
+        print(
+            f"only {len(shared)} shared benchmark(s): comparing raw ratios "
+            f"with widened tolerance ±{band:.0%}"
+        )
+
+    for name in shared:
+        normalised = ratios[name] / calibration
+        verdict = "ok"
+        if normalised > 1.0 + band:
+            verdict = "REGRESSION"
+            failures.append(
+                f"SLOWER   {name}: {ratios[name]:.2f}x baseline "
+                f"({normalised:.2f}x after calibration, band {1.0 + band:.2f}x)"
+            )
+        elif normalised < 1.0 / (1.0 + band):
+            verdict = "faster (consider refreshing the baseline)"
+        print(
+            f"{verdict:10s} {name}: baseline {baseline[name] * 1e3:.2f} ms, "
+            f"fresh {fresh[name] * 1e3:.2f} ms, normalised {normalised:.2f}x"
+        )
+
+    if failures:
+        print("\nbenchmark gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"\nbenchmark gate passed: {len(shared)} benchmarks within the band")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=pathlib.Path, required=True,
+                        help="pytest-benchmark JSON from the current run")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed normalised slowdown (0.5 = 50%%)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from the fresh run and exit")
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        write_baseline(args.fresh, args.baseline)
+        return 0
+    if not args.baseline.exists():
+        print(f"baseline {args.baseline} does not exist; create it with --write-baseline")
+        return 1
+    return compare(load_means(args.fresh), load_means(args.baseline), args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

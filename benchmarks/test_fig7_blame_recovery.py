@@ -1,0 +1,90 @@
+"""Figure 7 companion: blame + recovery latency vs. chain length.
+
+The paper's Figure 7 prices the blame protocol for malicious users; the
+recovery half it assumes after a *server* conviction (§6.4: the convicted
+server is removed) is modelled by
+:func:`repro.simulation.latency.recovery_latency` and executed for real by
+the fault-injection scenario engine: tamper → blame → evict → re-form →
+resume.  This benchmark runs the real path at micro scale on the test group
+for growing chain lengths and renders the analytic model alongside, so the
+measured per-length growth backs the model's linear-in-k shape.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import figures, render_figure
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.faults import ScenarioRunner
+from repro.faults.scenarios import tamper_and_recover
+from repro.simulation.latency import recovery_latency
+
+from benchmarks.conftest import save_result
+
+
+def run_recovery_scenario(chain_length: int):
+    """Tamper at round 2 on a chain of ``chain_length``; recover; resume."""
+    deployment = Deployment.create(
+        DeploymentConfig(
+            num_servers=chain_length + 1,
+            num_users=6,
+            num_chains=3,
+            chain_length=chain_length,
+            seed=42,
+            group_kind="modp",
+        )
+    )
+    report = ScenarioRunner(deployment, tamper_and_recover()).run()
+    deployment.close()
+    return report
+
+
+def test_fig7_recovery_latency_model(benchmark):
+    figure = benchmark(figures.figure7_recovery)
+    lengths = figure["x"]
+    latencies = dict(zip(lengths, figure["series"]["blame + recovery latency"]))
+    # Linear in k: the ordered ceremony dominates, so doubling the chain
+    # roughly doubles the cost once past the fixed announcement RTT.
+    slope_low = (latencies[8] - latencies[4]) / 4
+    slope_high = (latencies[32] - latencies[16]) / 16
+    assert slope_low == pytest.approx(slope_high, rel=0.05)
+    assert all(latencies[a] < latencies[b] for a, b in zip(lengths, lengths[1:]))
+
+    # Measure the *real* detect → blame → evict → re-form → resume path at
+    # micro scale and render it next to the model.
+    measured = []
+    for chain_length in (2, 3, 4):
+        start = time.perf_counter()
+        report = run_recovery_scenario(chain_length)
+        measured.append(time.perf_counter() - start)
+        assert report.evicted_servers == ["server-0"] or report.evicted_servers
+        assert report.outcome_for(3).all_delivered
+        assert report.outcome_for(4).all_delivered
+    rendered = render_figure(figure) + "\n\n" + "\n".join(
+        f"measured scenario (modp micro-scale), k={k}: {seconds:.3f} s wall"
+        for k, seconds in zip((2, 3, 4), measured)
+    )
+    save_result("fig7_blame_recovery", rendered)
+
+
+def test_blame_recovery_execution_microscale(benchmark):
+    """Benchmark the real tamper → recover → resume scenario (k = 3)."""
+    report = benchmark.pedantic(run_recovery_scenario, args=(3,), rounds=1, iterations=1)
+    fault = report.outcome_for(2)
+    assert fault.verdicts[0].malicious_servers == ["server-0"]
+    assert report.recoveries and report.recoveries[0].chain_id == 0
+    assert report.outcome_for(3).all_delivered
+    assert report.outcome_for(4).all_delivered
+
+
+def test_recovery_latency_scales_with_flagged_ciphertexts():
+    """More flagged ciphertexts lengthen the walk, not the ceremony."""
+    base = recovery_latency(8, flagged_ciphertexts=1)
+    many = recovery_latency(8, flagged_ciphertexts=101)
+    assert many > base
+    # The ceremony term is unchanged: the difference is pure blame work,
+    # so equal increments in flagged count give equal increments in latency.
+    assert many - base == pytest.approx(
+        recovery_latency(8, flagged_ciphertexts=201) - many, rel=1e-9
+    )

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 import random
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.client.user import ChainKeysView
 from repro.crypto.nizk import prove_dlog
@@ -69,23 +69,55 @@ class TamperingMember:
     wrapped honest member, so its keys, proofs of knowledge, and blame
     reveals are all "real" — exactly the situation the AHS verification has
     to catch.
+
+    When ``rng`` is given, the wrapper's own randomness (the delta scalars of
+    the aggregate-breaking modes) is drawn from a per-(wrapper, round) stream
+    derived from it — mirroring :class:`ChainMember`'s per-round streams, so
+    adversarial rounds are exactly as reproducible as honest ones and
+    bit-identical under every execution backend and scheduler.  ``rounds``
+    restricts the corruption to the named round numbers (the wrapper behaves
+    honestly elsewhere), which is how fault plans schedule "tamper at round
+    r" without installing and removing wrappers mid-scenario.
     """
 
-    def __init__(self, member: ChainMember, mode: str, target_index: int = 0) -> None:
+    def __init__(
+        self,
+        member: ChainMember,
+        mode: str,
+        target_index: int = 0,
+        rng: Optional[random.Random] = None,
+        rounds: Optional[Iterable[int]] = None,
+    ) -> None:
         if mode not in _MODES:
             raise ConfigurationError(f"unknown tampering mode {mode!r}")
         self._member = member
         self.mode = mode
         self.target_index = target_index
+        self.rounds = frozenset(rounds) if rounds is not None else None
+        self._seed_base = rng.getrandbits(256) if rng is not None else None
+        self._round_rngs: dict = {}
 
     def __getattr__(self, name: str):
         return getattr(self._member, name)
 
+    def _round_rng(self, round_number: int) -> Optional[random.Random]:
+        """The wrapper's independent randomness stream for one round."""
+        if self._seed_base is None:
+            return None
+        if round_number not in self._round_rngs:
+            self._round_rngs[round_number] = random.Random(
+                (self._seed_base << 64) | round_number
+            )
+        return self._round_rngs[round_number]
+
     def process_round(self, round_number: int, entries: Sequence[BatchEntry]) -> MixStepResult:
         result = self._member.process_round(round_number, entries)
+        if self.rounds is not None and round_number not in self.rounds:
+            return result
         if result.halted or not result.entries:
             return result
         group = self._member.group
+        rng = self._round_rng(round_number)
         outputs: List[BatchEntry] = list(result.entries)
         target = self.target_index % len(outputs)
         if self.mode == MODE_TAMPER_CIPHERTEXT:
@@ -95,13 +127,13 @@ class TamperingMember:
             outputs[target] = BatchEntry(outputs[target].dh_public, corrupted)
         elif self.mode == MODE_BREAK_AGGREGATE:
             outputs[target] = BatchEntry(
-                group.base_mult(group.random_scalar()), outputs[target].ciphertext
+                group.base_mult(group.random_scalar(rng)), outputs[target].ciphertext
             )
         elif self.mode == MODE_PRESERVE_AGGREGATE:
             other = (target + 1) % len(outputs)
             if other == target:
                 return MixStepResult(result.position, outputs, result.proof)
-            delta = group.base_mult(group.random_scalar())
+            delta = group.base_mult(group.random_scalar(rng))
             outputs[target] = BatchEntry(
                 group.add(outputs[target].dh_public, delta), outputs[target].ciphertext
             )
@@ -113,12 +145,20 @@ class TamperingMember:
         return MixStepResult(position=result.position, entries=outputs, proof=result.proof)
 
 
-def install_tampering_server(deployment, chain_id: int, position: int, mode: str, target_index: int = 0) -> TamperingMember:
+def install_tampering_server(
+    deployment,
+    chain_id: int,
+    position: int,
+    mode: str,
+    target_index: int = 0,
+    rng: Optional[random.Random] = None,
+    rounds: Optional[Iterable[int]] = None,
+) -> TamperingMember:
     """Replace one chain position in ``deployment`` with a tampering wrapper."""
     chain = deployment.chain(chain_id)
     if not 0 <= position < len(chain.members):
         raise ConfigurationError("position out of range for this chain")
-    wrapper = TamperingMember(chain.members[position], mode, target_index)
+    wrapper = TamperingMember(chain.members[position], mode, target_index, rng=rng, rounds=rounds)
     chain.members[position] = wrapper
     return wrapper
 
@@ -150,7 +190,7 @@ def forge_misauthenticated_submission(
     if not 0 <= fail_at_position < chain_length:
         raise ConfigurationError("fail_at_position out of range")
     ephemeral_secret = group.random_scalar(rng)
-    garbage = os.urandom(64)
+    garbage = rng.randbytes(64) if rng is not None else os.urandom(64)
     ciphertext = encrypt_outer_layers(
         group, mixing_publics[:fail_at_position], round_number, garbage, ephemeral_secret
     )
@@ -195,6 +235,6 @@ def forge_invalid_proof_submission(
         chain_id=chain_keys.chain_id,
         sender=sender_name,
         dh_public=group.encode(group.base_mult(ephemeral_secret)),
-        ciphertext=os.urandom(128),
+        ciphertext=rng.randbytes(128) if rng is not None else os.urandom(128),
         proof=proof,
     )

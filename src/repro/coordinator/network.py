@@ -29,6 +29,7 @@ bytes, and only physical sockets are elided (DESIGN.md §3).
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -52,7 +53,24 @@ from repro.mixnet.chain import ChainTopology, form_chains, required_chain_length
 from repro.mixnet.messages import ClientSubmission
 from repro.transport import Transport, make_transport
 
-__all__ = ["DeploymentConfig", "MixServerNode", "Deployment", "RoundReport", "RoundSpec"]
+__all__ = [
+    "DeploymentConfig",
+    "MixServerNode",
+    "Deployment",
+    "RecoveryAction",
+    "RoundReport",
+    "RoundSpec",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One applied recovery: who was evicted and how the chain was re-formed."""
+
+    round_number: int
+    chain_id: int
+    evicted: List[str]
+    new_servers: List[str]
 
 
 @dataclass
@@ -187,8 +205,15 @@ class Deployment:
         self.next_round = 1
         self._users_by_name = {user.name: user for user in users}
         self._chains_by_id = {chain.chain_id: chain for chain in chains}
+        self._nodes_by_name = {node.name: node for node in server_nodes}
         self._cover_store: Dict[str, List[ClientSubmission]] = {}
         self._begun_rounds: Dict[int, Dict[int, object]] = {}
+        #: Servers removed from the coordinator's pool by blame convictions.
+        self.evicted_servers: set = set()
+        #: Convictions recorded by the engine's deliver stage, awaiting
+        #: :meth:`recover` — ``(round_number, chain_id, server_names)``.
+        self._pending_recoveries: List[tuple] = []
+        self._reform_counts: Dict[int, int] = {}
         self.engine = RoundEngine(
             self, backend=make_backend(config.execution_backend, config.max_workers)
         )
@@ -378,22 +403,187 @@ class Deployment:
             return StaggeredScheduler(self.engine).run_rounds(normalised)
         return self.engine.execute_rounds(normalised)
 
+    # -- blame recovery: eviction and chain re-formation -------------------------
+
+    def note_convictions(self, round_number: int, chain_id: int, servers: Sequence[str]) -> None:
+        """Record a round's server convictions for a later :meth:`recover`.
+
+        Called by the engine's deliver stage (in chain order, on the
+        coordinating thread) whenever a chain's round outcome convicts a
+        server — via a blame verdict or an aggregate-proof failure — so the
+        recorded sequence is identical under every backend and scheduler.
+        """
+        if servers:
+            self._pending_recoveries.append((round_number, chain_id, tuple(servers)))
+
+    @property
+    def pending_recoveries(self) -> List[tuple]:
+        """Convictions recorded but not yet acted on (read-only view)."""
+        return list(self._pending_recoveries)
+
+    def recover(self) -> List[RecoveryAction]:
+        """Act on recorded convictions: evict the servers, re-form the chains.
+
+        This is the recovery half the paper assumes after a blame verdict
+        (§6.4: the honest servers delete their inner keys and the convicted
+        server is removed): each convicted server leaves the coordinator's
+        pool permanently, and every chain that produced a conviction is
+        re-formed from the remaining pool — new beacon sample, fresh key
+        ceremony, fresh per-round inner keys for any round already announced.
+        Subsequent rounds run on the re-formed chain; banked covers built for
+        the old chain's keys are discarded (their owners bank fresh covers
+        the next time they are online).
+
+        Recovery is an explicit coordinator action between rounds — never
+        implicit inside a pipelined ``run_rounds`` — so staggered and
+        sequential schedules see identical state at every stage boundary.
+        """
+        pending, self._pending_recoveries = self._pending_recoveries, []
+        actions: List[RecoveryAction] = []
+        # Apply *every* eviction before re-forming *any* chain: a chain
+        # re-formed mid-batch could otherwise sample a server a later
+        # pending conviction evicts, and would never be re-formed again.
+        per_chain: Dict[int, List] = {}
+        last_round = 0
+        for round_number, chain_id, servers in pending:
+            last_round = max(last_round, round_number)
+            newly_evicted = [name for name in servers if name not in self.evicted_servers]
+            self.evicted_servers.update(servers)
+            entry = per_chain.setdefault(chain_id, [round_number, []])
+            entry[1].extend(name for name in newly_evicted if name not in entry[1])
+        reformed: set = set()
+        for chain_id, (round_number, newly_evicted) in per_chain.items():
+            topology = self.reform_chain(chain_id)
+            reformed.add(chain_id)
+            actions.append(
+                RecoveryAction(
+                    round_number=round_number,
+                    chain_id=chain_id,
+                    evicted=newly_evicted,
+                    new_servers=list(topology.servers),
+                )
+            )
+        if pending:
+            # §6.4 removes the convicted server from the *system*, not just
+            # from the chain that caught it: every other chain it still sits
+            # in is re-formed too (in chain order, so the action sequence is
+            # deterministic).  Its eviction is already recorded above, so
+            # these secondary actions carry an empty eviction list.
+            for chain in list(self.chains):
+                if chain.chain_id in reformed:
+                    continue
+                if any(
+                    member.server_name in self.evicted_servers for member in chain.members
+                ):
+                    topology = self.reform_chain(chain.chain_id)
+                    reformed.add(chain.chain_id)
+                    actions.append(
+                        RecoveryAction(
+                            round_number=last_round,
+                            chain_id=chain.chain_id,
+                            evicted=[],
+                            new_servers=list(topology.servers),
+                        )
+                    )
+        return actions
+
+    def reform_chain(self, chain_id: int) -> ChainTopology:
+        """Re-form one chain from the non-evicted server pool.
+
+        The new topology is sampled from the public randomness beacon (every
+        participant derives the same chain), the sampled servers run a fresh
+        key ceremony, and per-round inner keys are re-announced for every
+        future round the old chain had already announced — so users building
+        submissions for those rounds see the new chain's key material, under
+        any scheduler's announce horizon.
+        """
+        index = next(
+            (i for i, chain in enumerate(self.chains) if chain.chain_id == chain_id), None
+        )
+        if index is None:
+            raise ConfigurationError(f"unknown chain {chain_id}")
+        old_chain = self.chains[index]
+        pool = [
+            node.name for node in self.server_nodes if node.name not in self.evicted_servers
+        ]
+        length = min(len(old_chain.members), len(pool))
+        if length < 1:
+            raise ConfigurationError("no servers left in the pool to re-form the chain")
+        if length < len(old_chain.members):
+            # The anytrust bound n·f^k ≤ 2^-λ weakens with every lost
+            # position; shrink rather than halt, but never silently.
+            warnings.warn(
+                f"chain {chain_id} re-formed with {length} servers "
+                f"(was {len(old_chain.members)}): the eviction-depleted pool "
+                "no longer supports the configured chain length, weakening "
+                "the anytrust security margin",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        generation = self._reform_counts.get(chain_id, 0) + 1
+        self._reform_counts[chain_id] = generation
+        servers = self.beacon.sample_without_replacement(
+            generation, pool, length, purpose=f"reform-chain-{chain_id}"
+        )
+        topology = ChainTopology(chain_id=chain_id, servers=list(servers))
+
+        old_names = {member.server_name for member in old_chain.members}
+        members = [
+            self._nodes_by_name[name].join_chain(chain_id, position)
+            for position, name in enumerate(topology.servers)
+        ]
+        for name in old_names - set(topology.servers):
+            self._nodes_by_name[name].chain_members.pop(chain_id, None)
+        chain = MixChain(chain_id=chain_id, members=members, group=self.group)
+        chain.setup()
+        chain.transport = self.transport
+        self.chains[index] = chain
+        self._chains_by_id[chain_id] = chain
+        for position, existing in enumerate(self.topologies):
+            if existing.chain_id == chain_id:
+                self.topologies[position] = topology
+        self.entry_servers[chain_id] = topology.servers[0]
+
+        # Future rounds the old chain already announced (a scheduler may have
+        # announced several ahead): replace the cached aggregates with the
+        # new chain's, so cached and freshly-computed views agree.
+        for cached_round in sorted(self._begun_rounds):
+            if cached_round >= self.next_round:
+                self._begun_rounds[cached_round][chain_id] = chain.begin_round(cached_round)
+
+        # Banked covers that target the re-formed chain were built for key
+        # material that no longer exists; playing them would misauthenticate.
+        stale = [
+            user_name
+            for user_name, covers in self._cover_store.items()
+            if any(
+                submission is not None and submission.chain_id == chain_id
+                for submission in covers
+            )
+        ]
+        for user_name in stale:
+            del self._cover_store[user_name]
+        return topology
+
     def use_backend(self, backend: ExecutionBackend) -> None:
         """Swap the mix-stage execution backend (closing the previous one)."""
         self.engine.backend.close()
         self.engine.backend = backend
 
-    def use_transport(self, transport: Transport) -> None:
+    def use_transport(self, transport: Transport, close_previous: bool = True) -> None:
         """Swap the deployment's transport (closing the previous one).
 
         Every chain shares the deployment's transport, so the swap rewires
-        the server→server batch links too.
+        the server→server batch links too.  Pass ``close_previous=False``
+        when the new transport *wraps* the old one (e.g.
+        :class:`~repro.transport.faulty.FaultyTransport`) and will keep
+        delegating to it.
         """
         old = self.transport
         self.transport = transport
         for chain in self.chains:
             chain.transport = transport
-        if old is not transport:
+        if close_previous and old is not transport:
             old.close()
 
     @property

@@ -22,9 +22,11 @@ the serial backend.
 
 Two contract details beyond :class:`ExecutionBackend`:
 
-* results that are not clean :class:`~repro.engine.stages.ChainOutcome`
-  values (generic ``map_chains`` uses, outcomes carrying a blame verdict)
-  fall back to :mod:`pickle`;
+* results that are not :class:`~repro.engine.stages.ChainOutcome` values
+  (generic ``map_chains`` uses) fall back to :mod:`pickle`; outcomes carrying
+  a blame verdict travel as wire bytes too
+  (:func:`repro.transport.codec.encode_blame_verdict`), so eviction
+  decisions derived from them are lossless across the process boundary;
 * if the chains route their batches through an instrumented transport, each
   worker ships its new :class:`~repro.transport.metrics.LinkRecord` entries
   back with its results and the parent merges them into its ledger, so

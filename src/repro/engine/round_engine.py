@@ -171,7 +171,9 @@ class RoundEngine:
         ctx.deferred_users = []
         for user in deployment.users:
             for submission in ctx.user_submissions.get(user.name, []):
-                ctx.per_chain[submission.chain_id].append(submission)
+                # A faulty transport may have dropped the upload (None).
+                if submission is not None:
+                    ctx.per_chain[submission.chain_id].append(submission)
         for submission in ctx.spec.extra_submissions:
             if submission.chain_id in ctx.per_chain:
                 # Injected (possibly adversarial) submissions cross the same
@@ -181,7 +183,8 @@ class RoundEngine:
                         submission, deployment.entry_servers, ctx.round_number
                     )
                 )
-                ctx.per_chain[submission.chain_id].append(delivered)
+                if delivered is not None:
+                    ctx.per_chain[submission.chain_id].append(delivered)
         ctx.report.total_submissions = sum(len(batch) for batch in ctx.per_chain.values())
 
     def mix(self, ctx: RoundContext) -> None:
@@ -232,6 +235,13 @@ class RoundEngine:
                 report.dropped_unknown_recipients += deployment.mailboxes.deliver_batch(
                     ctx.round_number, messages
                 )
+        # Server convictions (blame verdicts, proof failures) become pending
+        # recoveries: the coordinator evicts and re-forms on an explicit
+        # Deployment.recover(), never mid-pipeline — see that method's note
+        # on scheduler parity.  Recorded here, in chain order on the
+        # coordinating thread, so every backend records the same sequence.
+        for chain_id, servers in report.server_convictions().items():
+            deployment.note_convictions(ctx.round_number, chain_id, servers)
 
     def fetch(self, ctx: RoundContext) -> None:
         """Each online user fetches and decrypts her mailbox."""

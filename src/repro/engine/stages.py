@@ -68,6 +68,33 @@ class RoundReport:
     def all_chains_delivered(self) -> bool:
         return all(result.delivered for result in self.chain_results.values())
 
+    def server_convictions(self) -> Dict[int, List[str]]:
+        """Servers this round's chain outcomes convicted, by chain.
+
+        A server is convicted either by a blame verdict
+        (:class:`~repro.mixnet.blame.BlameVerdict.malicious_servers`) or by
+        an aggregate-proof / inner-key-reveal failure
+        (``misbehaving_server``).  The engine's deliver stage feeds these to
+        :meth:`Deployment.note_convictions
+        <repro.coordinator.network.Deployment.note_convictions>`, where an
+        explicit :meth:`~repro.coordinator.network.Deployment.recover` turns
+        them into evictions and chain re-formation.
+        """
+        convictions: Dict[int, List[str]] = {}
+        for chain_id in sorted(self.chain_results):
+            result = self.chain_results[chain_id]
+            if result.delivered:
+                continue
+            names: List[str] = []
+            verdict = result.blame_verdict
+            if verdict is not None:
+                names.extend(verdict.malicious_servers)
+            if result.misbehaving_server and result.misbehaving_server not in names:
+                names.append(result.misbehaving_server)
+            if names:
+                convictions[chain_id] = names
+        return convictions
+
     def canonical_bytes(self) -> bytes:
         """A deterministic byte serialisation of the report's payload.
 

@@ -1,0 +1,35 @@
+"""Fault-injection scenario engine (DESIGN.md §6).
+
+The paper's core claim is adversarial: an *active* attacker — a tampering
+server, a misauthenticating user, a lossy link — is detected, blamed, and
+evicted while the system keeps serving traffic (§6, §8.2).  This package
+drives that claim end to end through the real engine and transport stack:
+
+* a :class:`FaultPlan` declares *which round, which layer, which behaviour*
+  — server faults (the :class:`~repro.coordinator.adversary.TamperingMember`
+  modes), user faults (the ``forge_*`` malicious submissions), and link
+  faults (:class:`~repro.transport.faulty.LinkFault` drop / duplicate /
+  delay / reorder);
+* a :class:`ScenarioRunner` executes the plan as a multi-round adversarial
+  scenario — detect → blame → evict → re-form → resume — under any
+  execution backend and scheduler, and returns a structured
+  :class:`ScenarioReport` whose canonical bytes are bit-identical across
+  all of them;
+* :data:`CANNED_SCENARIOS` names the ready-made plans the README lists.
+"""
+
+from repro.faults.plan import FaultPlan, ServerFault, UserFault
+from repro.faults.runner import RoundOutcome, ScenarioReport, ScenarioRunner
+from repro.faults.scenarios import CANNED_SCENARIOS
+from repro.transport.faulty import LinkFault
+
+__all__ = [
+    "FaultPlan",
+    "ServerFault",
+    "UserFault",
+    "LinkFault",
+    "ScenarioRunner",
+    "ScenarioReport",
+    "RoundOutcome",
+    "CANNED_SCENARIOS",
+]

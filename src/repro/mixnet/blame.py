@@ -73,6 +73,41 @@ class BlameVerdict:
     def identified(self) -> bool:
         return bool(self.malicious_users or self.malicious_servers)
 
+    def to_bytes(self) -> bytes:
+        """The verdict's wire encoding (what servers broadcast after blame).
+
+        The multiprocess backend ships verdicts across its pipe in exactly
+        this format, so eviction decisions taken by the coordinator are
+        byte-identical whether the blame protocol ran in-process or in a
+        forked worker.
+        """
+        from repro.transport.codec import encode_blame_verdict
+
+        return encode_blame_verdict(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BlameVerdict":
+        from repro.errors import DecodingError
+        from repro.transport.codec import decode_blame_verdict
+
+        verdict, offset = decode_blame_verdict(data, 0)
+        if offset != len(data):
+            raise DecodingError("trailing bytes after blame verdict")
+        return verdict
+
+    def summary(self) -> str:
+        """One-line human-readable verdict (used by scenario reports)."""
+        parts = [f"chain {self.chain_id} round {self.round_number}"]
+        if self.malicious_servers:
+            parts.append("servers: " + ", ".join(self.malicious_servers))
+        if self.malicious_users:
+            parts.append("users: " + ", ".join(self.malicious_users))
+        if not self.identified:
+            parts.append("nobody convicted")
+        if self.false_accusations:
+            parts.append(f"{self.false_accusations} false accusation(s)")
+        return "; ".join(parts)
+
 
 def _verify_upstream_reveal(
     group,

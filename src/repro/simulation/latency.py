@@ -40,6 +40,7 @@ __all__ = [
     "xrd_latency",
     "xrd_latency_pipeline",
     "blame_latency",
+    "recovery_latency",
 ]
 
 
@@ -148,3 +149,50 @@ def blame_latency(
     # costs one extra pass over the chain.
     rerun = chain_length * cost_model.network_rtt
     return serial + rerun
+
+
+def recovery_latency(
+    chain_length: int,
+    cost_model: Optional[CostModel] = None,
+    flagged_ciphertexts: int = 1,
+) -> float:
+    """Blame plus recovery after a *server* conviction, vs. chain length.
+
+    The fig7 companion for the recovery half of §6.4 (executed for real by
+    :meth:`Deployment.recover <repro.coordinator.network.Deployment.
+    recover>`): the cost of detecting a tampering server at the end of the
+    chain, walking the blame protocol back, evicting it, and re-forming the
+    chain before traffic resumes.  Three sequential phases:
+
+    * **blame walk** — each of the ``k − 1`` upstream servers reveals in
+      turn (one link hop each) and the reveal is verified
+      (:meth:`CostModel.blame_per_message_per_layer`), per flagged
+      ciphertext;
+    * **key ceremony** — the re-formed chain's ``k`` servers generate
+      blinding and mixing keys *in order* (each server's base point is its
+      predecessor's blinding key, §6.1): two key generations, two proofs,
+      two verifications, and a hand-off hop per server;
+    * **inner-key re-announcement** — one per-round key and proof per
+      server, broadcast in parallel (one RTT total).
+    """
+    if chain_length < 1:
+        raise SimulationError("chain length must be positive")
+    if flagged_ciphertexts < 0:
+        raise SimulationError("flagged ciphertext count must be non-negative")
+    cost_model = cost_model or CostModel.paper_testbed()
+    blame = (chain_length - 1) * (
+        flagged_ciphertexts * cost_model.blame_per_message_per_layer()
+        + cost_model.network_rtt / 2
+    )
+    per_member_ceremony = (
+        2 * cost_model.scalar_mult
+        + 2 * cost_model.nizk_prove
+        + 2 * cost_model.nizk_verify
+        + cost_model.network_rtt / 2
+    )
+    ceremony = chain_length * per_member_ceremony
+    announce = (
+        chain_length * (cost_model.scalar_mult + cost_model.nizk_prove + cost_model.nizk_verify)
+        + cost_model.network_rtt
+    )
+    return blame + ceremony + announce

@@ -29,6 +29,7 @@ from repro.transport.envelope import (
     SUBMISSION,
     Envelope,
 )
+from repro.transport.faulty import FaultyTransport, LinkFault
 from repro.transport.inproc import InProcTransport
 from repro.transport.instrumented import InstrumentedTransport
 from repro.transport.metrics import LinkRecord, TrafficLedger
@@ -37,6 +38,8 @@ __all__ = [
     "Transport",
     "InProcTransport",
     "InstrumentedTransport",
+    "FaultyTransport",
+    "LinkFault",
     "TrafficLedger",
     "LinkRecord",
     "Envelope",

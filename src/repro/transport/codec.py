@@ -6,15 +6,17 @@ bytes, the multiprocess backend ships them across process boundaries, and
 the parity suite proves they round-trip losslessly (decode(encode(x))
 produces a payload the protocol cannot distinguish from ``x``).
 
-Two payload details are deliberately *not* on the wire:
+One payload detail is deliberately *not* on the wire: a submission's
+``cover`` flag is client-side metadata (to a server, a cover is
+indistinguishable from any other submission — that is the point of covers),
+so decoded submissions carry the default ``cover=False``.
 
-* a submission's ``cover`` flag is client-side metadata (to a server, a
-  cover is indistinguishable from any other submission — that is the point
-  of covers), so decoded submissions carry the default ``cover=False``;
-* a blame verdict is not a wire format (it aggregates NIZKs and reveals
-  whose types live in :mod:`repro.mixnet.blame`), so
-  :func:`encode_chain_outcome` refuses outcomes that carry one and the
-  multiprocess backend falls back to :mod:`pickle` for that rare path.
+A :class:`~repro.mixnet.blame.BlameVerdict` *is* a wire format
+(:func:`encode_blame_verdict`): it is the coordinator-facing outcome of the
+blame protocol — the convicted users and servers plus counters — which must
+survive the multiprocess backend's pipe and would be broadcast between
+servers in a networked deployment.  The reveals and NIZKs the protocol
+*consumed* to reach the verdict stay local to the chain that ran it.
 """
 
 from __future__ import annotations
@@ -28,10 +30,13 @@ from repro.transport.envelope import Envelope
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.mixnet.ahs import ChainRoundResult
+    from repro.mixnet.blame import BlameVerdict
 
 __all__ = [
     "encode_payload",
     "decode_payload",
+    "encode_blame_verdict",
+    "decode_blame_verdict",
     "encode_chain_outcome",
     "decode_chain_outcome",
     "UnsupportedPayload",
@@ -164,13 +169,52 @@ def decode_payload(group, kind: str, data: bytes) -> object:
     raise UnsupportedPayload(f"no wire decoding for envelope kind {kind!r}")
 
 
+# -- blame verdicts (broadcast between servers; multiprocess return channel) --
+
+def encode_blame_verdict(verdict: "BlameVerdict") -> bytes:
+    """Serialise a blame verdict: convicted parties plus protocol counters."""
+    return b"".join(
+        (
+            verdict.chain_id.to_bytes(4, "big"),
+            verdict.round_number.to_bytes(8, "big"),
+            _pack_str_list(verdict.malicious_users),
+            _pack_str_list(verdict.malicious_servers),
+            verdict.false_accusations.to_bytes(4, "big"),
+            verdict.examined_ciphertexts.to_bytes(4, "big"),
+        )
+    )
+
+
+def decode_blame_verdict(data: bytes, offset: int = 0) -> tuple:
+    """Inverse of :func:`encode_blame_verdict`; returns ``(verdict, offset)``."""
+    from repro.mixnet.blame import BlameVerdict  # local import to avoid a cycle
+
+    chain_id, offset = _read_int(data, offset, 4)
+    round_number, offset = _read_int(data, offset, 8)
+    malicious_users, offset = _read_str_list(data, offset)
+    malicious_servers, offset = _read_str_list(data, offset)
+    false_accusations, offset = _read_int(data, offset, 4)
+    examined, offset = _read_int(data, offset, 4)
+    verdict = BlameVerdict(
+        chain_id=chain_id,
+        round_number=round_number,
+        malicious_users=malicious_users,
+        malicious_servers=malicious_servers,
+        false_accusations=false_accusations,
+        examined_ciphertexts=examined,
+    )
+    return verdict, offset
+
+
 # -- per-chain round results (the multiprocess backend's return channel) ------
 
 def encode_chain_outcome(chain_id: int, accept_rejected: Sequence[str],
                          result: "ChainRoundResult") -> bytes:
     """Serialise one chain's round outcome for the trip back to the parent."""
-    if result.blame_verdict is not None:
-        raise UnsupportedPayload("blame verdicts have no wire encoding")
+    if result.blame_verdict is None:
+        verdict_bytes = b"\x00"
+    else:
+        verdict_bytes = b"\x01" + encode_blame_verdict(result.blame_verdict)
     return b"".join(
         (
             chain_id.to_bytes(4, "big"),
@@ -183,6 +227,7 @@ def encode_chain_outcome(chain_id: int, accept_rejected: Sequence[str],
             _pack_str_list(result.rejected_senders),
             result.invalid_inner_count.to_bytes(4, "big"),
             _pack_bytes(result.input_digest),
+            verdict_bytes,
         )
     )
 
@@ -204,6 +249,10 @@ def decode_chain_outcome(data: bytes) -> tuple:
     rejected_senders, offset = _read_str_list(data, offset)
     invalid_inner_count, offset = _read_int(data, offset, 4)
     input_digest, offset = _read_bytes(data, offset)
+    verdict_present, offset = _read_int(data, offset, 1)
+    blame_verdict = None
+    if verdict_present:
+        blame_verdict, offset = decode_blame_verdict(data, offset)
     if offset != len(data):
         raise DecodingError("trailing bytes after chain outcome")
     result = ChainRoundResult(
@@ -211,6 +260,7 @@ def decode_chain_outcome(data: bytes) -> tuple:
         round_number=round_number,
         status=status,
         mailbox_messages=mailbox_messages,
+        blame_verdict=blame_verdict,
         misbehaving_server=misbehaving_server,
         rejected_senders=rejected_senders,
         invalid_inner_count=invalid_inner_count,

@@ -1,0 +1,231 @@
+"""A transport wrapper that injects link-level faults (drop / duplicate /
+delay / reorder) on selected envelopes.
+
+The fault-injection scenario engine (:mod:`repro.faults`) needs an adversary
+*below* the protocol: not a server computing the wrong thing, but a network
+losing, replaying, delaying, or reordering what honest nodes sent.
+:class:`FaultyTransport` wraps any inner :class:`Transport` — composing with
+:class:`~repro.transport.instrumented.InstrumentedTransport`, whose ledger it
+proxies — and applies the matching :class:`LinkFault` behaviours to each
+envelope before (or instead of) handing it to the inner transport:
+
+* ``drop`` — the envelope never crosses the link.  List payloads (batches,
+  mailbox flows) arrive empty; submissions arrive as ``None`` (the engine
+  skips them).  This models *data loss*, not timeout detection: a real
+  deployment would eventually time the link out, which is a liveness
+  concern the synchronous round structure has no place for (DESIGN.md §3).
+* ``duplicate`` — one element of a list payload is replayed.  Only list
+  payloads can be duplicated; a replayed client submission is the
+  *user-level* attack :func:`~repro.coordinator.adversary.
+  forge_misauthenticated_submission` family models, not a link fault.
+* ``delay`` — the payload arrives intact but late: an extra zero-byte
+  :class:`LinkRecord` carrying ``delay_seconds`` is charged to the inner
+  ledger (when there is one), so measured round latency reflects the stall.
+* ``reorder`` — a list payload arrives permuted, by a shuffle derived
+  deterministically from (fault seed, round, chain), never from shared
+  state.
+
+Every behaviour is a *pure function of the envelope* — matching keeps no
+counters — so the wrapper is safe to share between the coordinator thread
+and mix workers, and a forked child (multiprocess backend) applies exactly
+the faults the parent would have.  The applied-fault log is advisory and
+process-local: under the multiprocess backend, batch faults applied inside
+workers do not appear in the parent's log (the observable round outcome is
+what parity is measured on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.transport import envelope as ev
+from repro.transport.base import Transport
+from repro.transport.envelope import Envelope
+from repro.transport.metrics import LinkRecord
+
+__all__ = [
+    "LinkFault",
+    "FaultyTransport",
+    "DROP",
+    "DUPLICATE",
+    "DELAY",
+    "REORDER",
+    "LINK_BEHAVIOURS",
+]
+
+#: The envelope never arrives (data loss on the link).
+DROP = "drop"
+#: One element of a list payload is replayed.
+DUPLICATE = "duplicate"
+#: The payload arrives intact but ``delay_seconds`` late.
+DELAY = "delay"
+#: A list payload arrives deterministically permuted.
+REORDER = "reorder"
+
+LINK_BEHAVIOURS = (DROP, DUPLICATE, DELAY, REORDER)
+
+#: Envelope kinds whose payload is a list (eligible for duplicate/reorder).
+_LIST_KINDS = (ev.BATCH, ev.MAILBOX_DELIVERY, ev.MAILBOX_FETCH)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One declarative link fault: which envelopes, which behaviour.
+
+    Every selector left at ``None`` matches anything; a fault with all
+    selectors unset applies to every envelope the transport carries.
+    Matching is stateless by design (see the module docstring).
+    """
+
+    behaviour: str
+    kind: Optional[str] = None
+    rounds: Optional[FrozenSet[int]] = None
+    source: Optional[str] = None
+    destination: Optional[str] = None
+    chain_id: Optional[int] = None
+    #: Which element of a list payload a ``duplicate`` replays (mod length).
+    index: int = 0
+    #: Extra one-way latency charged by a ``delay``.
+    delay_seconds: float = 0.0
+    #: Seed component of a ``reorder``'s deterministic permutation.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in LINK_BEHAVIOURS:
+            raise ConfigurationError(f"unknown link-fault behaviour {self.behaviour!r}")
+        if self.kind is not None and self.kind not in ev.ENVELOPE_KINDS:
+            raise ConfigurationError(f"unknown envelope kind {self.kind!r}")
+        if self.behaviour in (DUPLICATE, REORDER):
+            if self.kind is None or self.kind not in _LIST_KINDS:
+                raise ConfigurationError(
+                    f"{self.behaviour} faults need an explicit list-payload kind "
+                    f"(one of {_LIST_KINDS}); replayed submissions are a user-level "
+                    "attack, not a link fault"
+                )
+        if self.behaviour == DELAY and self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be non-negative")
+        if self.rounds is not None:
+            object.__setattr__(self, "rounds", frozenset(self.rounds))
+
+    def matches(self, envelope: Envelope) -> bool:
+        if self.kind is not None and envelope.kind != self.kind:
+            return False
+        if self.rounds is not None and envelope.round_number not in self.rounds:
+            return False
+        if self.source is not None and envelope.source != self.source:
+            return False
+        if self.destination is not None and envelope.destination != self.destination:
+            return False
+        if self.chain_id is not None and envelope.chain_id != self.chain_id:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class AppliedFault:
+    """Advisory log entry: one fault applied to one envelope."""
+
+    behaviour: str
+    kind: str
+    round_number: int
+    source: str
+    destination: str
+    chain_id: Optional[int] = None
+
+
+class FaultyTransport(Transport):
+    """Applies matching :class:`LinkFault` behaviours, then delegates."""
+
+    name = "faulty"
+
+    def __init__(self, inner: Transport, faults: Sequence[LinkFault] = ()) -> None:
+        self.inner = inner
+        self.faults: List[LinkFault] = list(faults)
+        self.applied: List[AppliedFault] = []
+
+    @property
+    def ledger(self):
+        """The inner transport's traffic ledger, when it keeps one."""
+        return getattr(self.inner, "ledger", None)
+
+    def _log(self, fault: LinkFault, envelope: Envelope) -> None:
+        self.applied.append(
+            AppliedFault(
+                behaviour=fault.behaviour,
+                kind=envelope.kind,
+                round_number=envelope.round_number,
+                source=envelope.source,
+                destination=envelope.destination,
+                chain_id=envelope.chain_id,
+            )
+        )
+
+    @staticmethod
+    def _reorder_rng(fault: LinkFault, envelope: Envelope) -> random.Random:
+        """A permutation stream derived purely from the (fault, envelope) pair."""
+        chain = envelope.chain_id if envelope.chain_id is not None else -1
+        return random.Random(
+            (fault.seed << 96)
+            ^ (envelope.round_number << 32)
+            ^ ((chain & 0xFFFF) << 16)
+            ^ len(envelope.kind)
+        )
+
+    def deliver(self, envelope: Envelope) -> object:
+        matching = [fault for fault in self.faults if fault.matches(envelope)]
+        delay_total = 0.0
+        for fault in matching:
+            if fault.behaviour == DROP:
+                self._log(fault, envelope)
+                return [] if envelope.kind in _LIST_KINDS else None
+            if fault.behaviour == DUPLICATE:
+                payload = list(envelope.payload)
+                if payload:
+                    payload.append(payload[fault.index % len(payload)])
+                    envelope = Envelope(
+                        kind=envelope.kind,
+                        source=envelope.source,
+                        destination=envelope.destination,
+                        round_number=envelope.round_number,
+                        payload=payload,
+                        chain_id=envelope.chain_id,
+                    )
+                    self._log(fault, envelope)
+            elif fault.behaviour == REORDER:
+                payload = list(envelope.payload)
+                if len(payload) > 1:
+                    self._reorder_rng(fault, envelope).shuffle(payload)
+                    envelope = Envelope(
+                        kind=envelope.kind,
+                        source=envelope.source,
+                        destination=envelope.destination,
+                        round_number=envelope.round_number,
+                        payload=payload,
+                        chain_id=envelope.chain_id,
+                    )
+                    self._log(fault, envelope)
+            elif fault.behaviour == DELAY:
+                delay_total += fault.delay_seconds
+                self._log(fault, envelope)
+        delivered = self.inner.deliver(envelope)
+        if delay_total > 0.0 and self.ledger is not None:
+            # Charge the stall as a zero-byte crossing of the same link so
+            # the measured critical path reflects it.
+            self.ledger.append(
+                LinkRecord(
+                    round_number=envelope.round_number,
+                    kind=envelope.kind,
+                    source=envelope.source,
+                    destination=envelope.destination,
+                    num_bytes=0,
+                    seconds=delay_total,
+                    chain_id=envelope.chain_id,
+                )
+            )
+        return delivered
+
+    def close(self) -> None:
+        self.inner.close()

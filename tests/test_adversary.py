@@ -1,5 +1,7 @@
 """Tests for adversarial behaviours at the deployment level."""
 
+import random
+
 import pytest
 
 from repro.coordinator.adversary import (
@@ -93,6 +95,70 @@ class TestTamperingServerAtDeploymentLevel:
         assert wrapper.server_name == member.server_name
         assert wrapper.position == member.position
         assert wrapper.blinding_public == member.blinding_public
+
+
+class TestAdversarialReproducibility:
+    """Seeded adversaries are exactly as reproducible as honest members.
+
+    The wrapper draws from a per-(wrapper, round) stream derived from the
+    supplied RNG — matching PR 1's per-(member, round) determinism — so
+    adversarial rounds are bit-identical under every backend and scheduler.
+    """
+
+    def test_preserve_aggregate_tampering_reproducible(self):
+        def tampered_batch():
+            deployment = make_deployment(
+                num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=7
+            )
+            install_tampering_server(
+                deployment, 0, 0, MODE_PRESERVE_AGGREGATE, rng=random.Random(99)
+            )
+            deployment.run_round()
+            # What the (honest) second member received is the tampered output.
+            record = deployment.chain(0).members[1].round_record(1)
+            return [(entry.dh_public, entry.ciphertext) for entry in record.inputs]
+
+        assert tampered_batch() == tampered_batch()
+
+    def test_round_rng_streams_are_independent_per_round(self):
+        deployment = make_deployment()
+        member = deployment.chain(0).members[0]
+        first = TamperingMember(member, MODE_BREAK_AGGREGATE, rng=random.Random(5))
+        second = TamperingMember(member, MODE_BREAK_AGGREGATE, rng=random.Random(5))
+        # Same stream per round regardless of the order rounds are touched.
+        assert second._round_rng(9).random() == first._round_rng(9).random()
+        assert second._round_rng(2).random() == first._round_rng(2).random()
+
+    def test_round_scoped_tampering_fires_only_in_its_rounds(self):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=7
+        )
+        install_tampering_server(
+            deployment, 0, 0, MODE_TAMPER_CIPHERTEXT, rounds={2}
+        )
+        assert deployment.run_round().chain_results[0].delivered
+        second = deployment.run_round()
+        assert second.chain_results[0].status == ChainRoundResult.STATUS_HALTED_BLAME
+        assert deployment.run_round().chain_results[0].delivered
+
+    def test_forged_submissions_reproducible_with_rng(self):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=8
+        )
+        views = deployment.chain_keys_view(1)
+
+        def forge(kind):
+            rng = random.Random(17)
+            if kind == "misauth":
+                return forge_misauthenticated_submission(
+                    deployment.group, views[0], 1, "mallory", rng=rng
+                )
+            return forge_invalid_proof_submission(
+                deployment.group, views[0], 1, "mallory", rng=rng
+            )
+
+        assert forge("misauth").to_bytes() == forge("misauth").to_bytes()
+        assert forge("proof").to_bytes() == forge("proof").to_bytes()
 
 
 class TestMaliciousUsers:

@@ -236,6 +236,47 @@ class TestBackendParity:
         assert ctx3.deferred_users == []
 
 
+class TestBlameParity:
+    """The blame protocol is execution-strategy-invariant (ISSUE 3).
+
+    The same :class:`~repro.faults.plan.FaultPlan` must yield the identical
+    verdict — same convicted server, byte-identical wire encoding — under
+    serial, parallel, and multiprocess execution, sequential or staggered.
+    For the multiprocess cells the verdict crossed the worker pipe as wire
+    bytes (:func:`repro.transport.codec.encode_blame_verdict`), so equality
+    also proves that encoding lossless.
+    """
+
+    def test_tampering_verdict_identical_across_backends(self):
+        from repro.faults.scenarios import tamper_and_recover
+        from tests.test_faults import run_scenario
+
+        verdict_blobs = set()
+        scenario_fingerprints = set()
+        for backend in BACKENDS:
+            for staggered in (False, True):
+                report = run_scenario(tamper_and_recover(), backend, staggered)
+                (verdict,) = report.outcome_for(2).verdicts.values()
+                assert verdict.malicious_servers == ["server-0"]
+                assert verdict.malicious_users == []
+                verdict_blobs.add(verdict.to_bytes())
+                scenario_fingerprints.add(report.canonical_bytes())
+        assert len(verdict_blobs) == 1
+        assert len(scenario_fingerprints) == 1
+
+    def test_user_walkback_verdict_identical_across_backends(self):
+        from repro.faults.scenarios import misauthenticating_user
+        from tests.test_faults import run_scenario
+
+        verdict_blobs = set()
+        for backend in BACKENDS:
+            report = run_scenario(misauthenticating_user(), backend)
+            (verdict,) = report.outcome_for(2).verdicts.values()
+            assert verdict.malicious_users == ["mallory"]
+            verdict_blobs.add(verdict.to_bytes())
+        assert len(verdict_blobs) == 1
+
+
 class TestBackendConfiguration:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError):

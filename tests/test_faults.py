@@ -1,0 +1,489 @@
+"""Fault-injection scenario engine: adversarial rounds end to end.
+
+The acceptance property of the faults subsystem (ISSUE 3): a scenario
+injecting ``MODE_TAMPER_CIPHERTEXT`` at round *r* is detected and blamed,
+the convicted server is evicted, the chain is re-formed from the remaining
+pool, and rounds *r+1…* deliver correctly — with the whole scenario
+bit-identical across {serial, parallel, multiprocess} × {sequential,
+staggered} × {inproc, instrumented}.
+"""
+
+import pytest
+
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CANNED_SCENARIOS,
+    FaultPlan,
+    LinkFault,
+    ScenarioRunner,
+    ServerFault,
+    UserFault,
+)
+from repro.faults.plan import USER_INVALID_PROOF
+from repro.faults.scenarios import (
+    aggregate_attack_and_recover,
+    delayed_chain_batch,
+    duplicated_chain_batch,
+    flaky_uplink,
+    lossy_mailbox_fetch,
+    misauthenticating_user,
+    reordered_mailbox_delivery,
+    tamper_and_recover,
+)
+from repro.mixnet.ahs import ChainRoundResult
+from repro.mixnet.blame import BlameVerdict
+from repro.transport import envelope as ev
+from repro.transport.faulty import DELAY, DROP, DUPLICATE, REORDER, FaultyTransport
+
+BACKENDS = ("serial", "parallel", "multiprocess")
+
+
+def build(backend="serial", transport="inproc", seed=42, **kwargs):
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("num_servers", 4)
+    kwargs.setdefault("num_users", 6)
+    kwargs.setdefault("num_chains", 3)
+    kwargs.setdefault("chain_length", 3)
+    config = DeploymentConfig(
+        seed=seed,
+        group_kind="modp",
+        execution_backend=backend,
+        transport=transport,
+        **kwargs,
+    )
+    return Deployment.create(config)
+
+
+def run_scenario(plan, backend="serial", staggered=False, transport="inproc"):
+    deployment = build(backend, transport)
+    report = ScenarioRunner(deployment, plan, staggered=staggered).run()
+    deployment.close()
+    return report
+
+
+class TestTamperAndRecoverAcceptance:
+    """The ISSUE 3 acceptance scenario, across the full execution matrix."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_scenario(tamper_and_recover())
+
+    def test_detect_blame_evict_reform_resume(self, reference):
+        fault = reference.outcome_for(2)
+        assert fault.statuses[0] == ChainRoundResult.STATUS_HALTED_BLAME
+        assert fault.verdicts[0].malicious_servers == ["server-0"]
+        assert fault.verdicts[0].malicious_users == []
+        # Other chains kept serving traffic through the fault round.
+        assert fault.statuses[1] == fault.statuses[2] == "delivered"
+        # Eviction and re-formation happened, excluding the convicted server.
+        assert reference.evicted_servers == ["server-0"]
+        primary = reference.recoveries[0]
+        assert primary.chain_id == 0 and primary.evicted == ["server-0"]
+        # §6.4 removes the server from the *system*: every re-formed chain
+        # (the convicting one plus any other it sat in) excludes it.
+        for action in reference.recoveries:
+            assert "server-0" not in action.new_servers
+        # Rounds r+1..r+2 complete with correct delivery on the new chains.
+        for round_number in (3, 4):
+            assert reference.outcome_for(round_number).all_delivered
+
+    def test_conversation_rides_the_reformed_chain(self, reference):
+        """The chatters' payloads flow again in rounds r+1.. after recovery."""
+        third = reference.outcome_for(3).report
+        pair = [name for name in third.delivered if third.conversation_payloads(name)]
+        assert len(pair) == 2
+        for name in pair:
+            (payload,) = third.conversation_payloads(name)
+            partner = [other for other in pair if other != name][0]
+            assert payload == f"r3-{partner}".encode()
+
+    @pytest.mark.parametrize("staggered", (False, True))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_identical_across_backends_and_schedulers(self, reference, backend, staggered):
+        report = run_scenario(tamper_and_recover(), backend, staggered)
+        assert report.canonical_bytes() == reference.canonical_bytes()
+
+    @pytest.mark.parametrize("backend", ("serial", "multiprocess"))
+    def test_bit_identical_on_instrumented_transport(self, reference, backend):
+        report = run_scenario(tamper_and_recover(), backend, staggered=True,
+                              transport="instrumented")
+        assert report.canonical_bytes() == reference.canonical_bytes()
+
+    def test_deployment_state_after_recovery(self):
+        deployment = build()
+        ScenarioRunner(deployment, tamper_and_recover()).run()
+        chain = deployment.chain(0)
+        names = [member.server_name for member in chain.members]
+        assert "server-0" not in names
+        assert deployment.entry_servers[0] == names[0]
+        assert deployment.topologies[0].servers == names
+        # The evicted server is out of the whole system, not just chain 0:
+        # no chain lists it, and its node holds no member state at all.
+        for other in deployment.chains:
+            assert "server-0" not in [member.server_name for member in other.members]
+        evicted_node = deployment._nodes_by_name["server-0"]
+        assert evicted_node.chain_members == {}
+        # Nothing is left pending once recovery has been applied.
+        assert deployment.pending_recoveries == []
+        deployment.close()
+
+
+class TestRecoveryMechanics:
+    def test_aggregate_attack_convicts_via_proof_failure(self):
+        report = run_scenario(aggregate_attack_and_recover())
+        fault = report.outcome_for(2)
+        assert fault.statuses[0] == ChainRoundResult.STATUS_HALTED_SERVER
+        assert fault.report.chain_results[0].misbehaving_server == "server-0"
+        assert report.evicted_servers == ["server-0"]
+        assert report.outcome_for(3).all_delivered
+
+    def test_recover_without_convictions_is_a_noop(self):
+        deployment = build()
+        deployment.run_round()
+        assert deployment.pending_recoveries == []
+        assert deployment.recover() == []
+        deployment.close()
+
+    def test_reform_unknown_chain_rejected(self):
+        deployment = build()
+        with pytest.raises(ConfigurationError):
+            deployment.reform_chain(99)
+        deployment.close()
+
+    def test_eviction_shrinks_chain_when_pool_is_short(self):
+        """With pool < chain length, the re-formed chain uses what is left —
+        loudly: shrinking weakens the anytrust bound, so it warns."""
+        deployment = build()
+        deployment.evicted_servers.update({"server-0", "server-1"})
+        with pytest.warns(RuntimeWarning, match="anytrust"):
+            topology = deployment.reform_chain(0)
+        assert set(topology.servers) <= {"server-2", "server-3"}
+        assert len(topology.servers) == 2
+        report = deployment.run_round()
+        assert report.all_chains_delivered()
+        deployment.close()
+
+    def test_empty_pool_raises(self):
+        deployment = build()
+        deployment.evicted_servers.update(
+            node.name for node in deployment.server_nodes
+        )
+        with pytest.raises(ConfigurationError):
+            deployment.reform_chain(0)
+        deployment.close()
+
+    def test_reform_drops_stale_covers_for_that_chain_only(self):
+        deployment = build()
+        deployment.run_round()
+        assert deployment._cover_store  # covers banked for round 2
+        affected = {
+            name
+            for name, covers in deployment._cover_store.items()
+            if any(sub.chain_id == 0 for sub in covers)
+        }
+        unaffected = set(deployment._cover_store) - affected
+        deployment.reform_chain(0)
+        assert affected.isdisjoint(deployment._cover_store)
+        assert unaffected <= set(deployment._cover_store)
+        deployment.close()
+
+    def test_simultaneous_convictions_purge_every_culprit(self):
+        """Two chains convict in one batch: evictions apply before re-forms.
+
+        A chain re-formed early in the batch must not re-sample a server a
+        later pending conviction evicts.
+        """
+        from repro.coordinator.adversary import MODE_TAMPER_CIPHERTEXT
+
+        deployment = build(seed=0, num_servers=5)
+        culprits = {
+            deployment.chain(chain_id).members[0].server_name for chain_id in (0, 1)
+        }
+        plan = FaultPlan(
+            name="double-tamper",
+            num_rounds=3,
+            server_faults=(
+                ServerFault(round_number=2, chain_id=0, position=0,
+                            mode=MODE_TAMPER_CIPHERTEXT),
+                ServerFault(round_number=2, chain_id=1, position=0,
+                            mode=MODE_TAMPER_CIPHERTEXT),
+            ),
+        )
+        report = ScenarioRunner(deployment, plan).run()
+        assert set(report.evicted_servers) == culprits
+        for chain in deployment.chains:
+            members = {member.server_name for member in chain.members}
+            assert members.isdisjoint(culprits)
+        assert report.outcome_for(3).all_delivered
+        deployment.close()
+
+    def test_recover_purges_evicted_server_from_every_chain(self):
+        """A conviction on one chain removes the server from all its chains."""
+        deployment = build()
+        # server-0 sits in more than one chain in this topology.
+        host_chains = [
+            chain.chain_id
+            for chain in deployment.chains
+            if "server-0" in [member.server_name for member in chain.members]
+        ]
+        assert len(host_chains) > 1
+        deployment.note_convictions(1, host_chains[0], ["server-0"])
+        actions = deployment.recover()
+        assert {action.chain_id for action in actions} == set(host_chains)
+        for chain in deployment.chains:
+            assert "server-0" not in [member.server_name for member in chain.members]
+        report = deployment.run_round()
+        assert report.all_chains_delivered()
+        deployment.close()
+
+
+class TestBlameVerdictWire:
+    def test_verdict_round_trips(self):
+        verdict = BlameVerdict(
+            chain_id=3,
+            round_number=7,
+            malicious_users=["mallory", "trudy"],
+            malicious_servers=["server-9"],
+            false_accusations=1,
+            examined_ciphertexts=4,
+        )
+        assert BlameVerdict.from_bytes(verdict.to_bytes()) == verdict
+
+    def test_chain_outcome_with_verdict_round_trips(self):
+        from repro.transport.codec import decode_chain_outcome, encode_chain_outcome
+
+        verdict = BlameVerdict(chain_id=0, round_number=2, malicious_servers=["server-0"])
+        result = ChainRoundResult(
+            chain_id=0,
+            round_number=2,
+            status=ChainRoundResult.STATUS_HALTED_BLAME,
+            blame_verdict=verdict,
+            input_digest=b"\x01" * 32,
+        )
+        chain_id, rejected, decoded = decode_chain_outcome(
+            encode_chain_outcome(0, ["bob"], result)
+        )
+        assert (chain_id, rejected) == (0, ["bob"])
+        assert decoded.blame_verdict == verdict
+        assert decoded.status == result.status
+
+    def test_verdict_summary_mentions_convictions(self):
+        verdict = BlameVerdict(chain_id=0, round_number=2, malicious_servers=["server-0"])
+        assert "server-0" in verdict.summary()
+        empty = BlameVerdict(chain_id=0, round_number=2)
+        assert "nobody convicted" in empty.summary()
+
+
+class TestUserFaultScenarios:
+    def test_misauthenticating_user_convicted_and_traffic_unaffected(self):
+        report = run_scenario(misauthenticating_user())
+        assert report.convicted_users() == ["mallory"]
+        assert report.evicted_servers == []
+        # The round still delivered after removing her ciphertext (§6.4).
+        assert report.outcome_for(2).all_delivered
+        assert "mallory" in report.outcome_for(2).rejected_senders
+
+    def test_misauth_verdict_identical_across_backends(self):
+        """Blame-protocol parity for the user walk-back (all three backends)."""
+        blobs = set()
+        for backend in BACKENDS:
+            report = run_scenario(misauthenticating_user(), backend)
+            (verdict,) = report.outcome_for(2).verdicts.values()
+            blobs.add(verdict.to_bytes())
+        assert len(blobs) == 1
+
+    def test_invalid_proof_rejected_without_blame(self):
+        report = run_scenario(
+            FaultPlan(
+                name="intake",
+                num_rounds=1,
+                user_faults=(
+                    UserFault(round_number=1, chain_id=0, sender="mallory",
+                              kind=USER_INVALID_PROOF),
+                ),
+            )
+        )
+        outcome = report.outcome_for(1)
+        assert "mallory" in outcome.rejected_senders
+        assert outcome.verdicts == {}
+        assert outcome.all_delivered
+
+
+class TestLinkFaultScenarios:
+    def test_flaky_uplink_loses_one_users_round(self):
+        clean = run_scenario(FaultPlan(name="clean", num_rounds=3))
+        faulty = run_scenario(flaky_uplink(user_name="user-0", fault_round=2))
+        # user-0's submissions never arrived: nothing addressed to her and
+        # her loopbacks are gone, but everyone else is untouched.
+        assert faulty.outcome_for(2).report.mailbox_counts["user-0"] == 0
+        assert clean.outcome_for(2).report.mailbox_counts["user-0"] > 0
+        for user, count in clean.outcome_for(2).report.mailbox_counts.items():
+            if user != "user-0":
+                assert faulty.outcome_for(2).report.mailbox_counts[user] == count
+        # The loss is round-scoped: round 3 is back to normal.
+        assert (
+            faulty.outcome_for(3).report.mailbox_counts
+            == clean.outcome_for(3).report.mailbox_counts
+        )
+
+    def test_lossy_mailbox_fetch_empties_one_download(self):
+        report = run_scenario(lossy_mailbox_fetch(user_name="user-1", fault_round=1))
+        assert report.outcome_for(1).report.mailbox_counts["user-1"] == 0
+
+    def test_duplicated_batch_delivers_extra_copies(self):
+        clean = run_scenario(FaultPlan(name="clean", num_rounds=2))
+        faulty = run_scenario(duplicated_chain_batch(chain_id=0, fault_round=1))
+        # The fault matches every transported hop of the chain (length 3 →
+        # two server→server links), so one entry is replayed per hop.
+        assert (
+            faulty.outcome_for(1).delivered_messages
+            == clean.outcome_for(1).delivered_messages + 2
+        )
+        assert faulty.outcome_for(2).delivered_messages == clean.outcome_for(2).delivered_messages
+
+    def test_reordered_delivery_preserves_the_message_set(self):
+        clean = run_scenario(FaultPlan(name="clean", num_rounds=2))
+        faulty = run_scenario(reordered_mailbox_delivery(chain_id=0, fault_round=1))
+        assert (
+            faulty.outcome_for(1).report.mailbox_counts
+            == clean.outcome_for(1).report.mailbox_counts
+        )
+
+    def test_delayed_batch_charges_the_measured_critical_path(self):
+        deployment = build(transport="instrumented")
+        baseline_dep = build(transport="instrumented")
+        ScenarioRunner(baseline_dep, FaultPlan(name="clean", num_rounds=1)).run()
+        baseline = baseline_dep.traffic_ledger.round_latency_seconds(1)
+        baseline_dep.close()
+        ScenarioRunner(
+            deployment, delayed_chain_batch(chain_id=0, fault_round=1,
+                                            num_rounds=1, delay_seconds=2.0)
+        ).run()
+        delayed = deployment.traffic_ledger.round_latency_seconds(1)
+        deployment.close()
+        assert delayed >= baseline + 2.0
+
+    def test_link_fault_rounds_are_scenario_relative(self):
+        """Link faults fire even when the deployment has already run rounds."""
+        deployment = build()
+        deployment.run_round()  # absolute round 1 happens before the scenario
+        plan = lossy_mailbox_fetch(user_name="user-1", fault_round=1, num_rounds=1)
+        report = ScenarioRunner(deployment, plan).run()
+        # Scenario round 1 is absolute round 2; the drop must still apply.
+        assert report.outcome_for(2).report.mailbox_counts["user-1"] == 0
+        deployment.close()
+
+    def test_second_scenario_replaces_previous_link_faults(self):
+        deployment = build()
+        ScenarioRunner(
+            deployment, flaky_uplink(user_name="user-0", fault_round=1, num_rounds=1)
+        ).run()
+        plan = lossy_mailbox_fetch(user_name="user-1", fault_round=1, num_rounds=1)
+        report = ScenarioRunner(deployment, plan).run()
+        # The new plan's fault fires and the old plan's drop no longer does.
+        assert report.outcome_for(2).report.mailbox_counts["user-1"] == 0
+        assert report.outcome_for(2).report.mailbox_counts["user-0"] > 0
+        deployment.close()
+
+    def test_link_faults_are_cleared_when_the_scenario_ends(self):
+        """An always-on (rounds=None) fault must not outlive its scenario."""
+        deployment = build()
+        plan = FaultPlan(
+            name="always-drop",
+            num_rounds=1,
+            link_faults=(
+                LinkFault(behaviour=DROP, kind=ev.SUBMISSION, source="user-0"),
+            ),
+        )
+        report = ScenarioRunner(deployment, plan).run()
+        assert report.outcome_for(1).report.mailbox_counts["user-0"] == 0
+        # Plain rounds after the scenario run fault-free.
+        follow_up = deployment.run_round()
+        assert follow_up.mailbox_counts["user-0"] > 0
+        deployment.close()
+
+    def test_faulty_transport_logs_applied_faults(self):
+        deployment = build()
+        plan = flaky_uplink(user_name="user-0", fault_round=1, num_rounds=1)
+        ScenarioRunner(deployment, plan).run()
+        transport = deployment.transport
+        assert isinstance(transport, FaultyTransport)
+        assert all(entry.behaviour == DROP for entry in transport.applied)
+        assert {entry.source for entry in transport.applied} == {"user-0"}
+        deployment.close()
+
+
+class TestLinkFaultValidation:
+    def test_unknown_behaviour_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkFault(behaviour="corrupt")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkFault(behaviour=DROP, kind="telepathy")
+
+    def test_duplicate_requires_list_payload_kind(self):
+        with pytest.raises(ConfigurationError):
+            LinkFault(behaviour=DUPLICATE, kind=ev.SUBMISSION)
+        with pytest.raises(ConfigurationError):
+            LinkFault(behaviour=REORDER)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkFault(behaviour=DELAY, delay_seconds=-1.0)
+
+
+class TestFaultPlanValidation:
+    def test_fault_past_the_last_round_rejected(self):
+        plan = FaultPlan(
+            name="late",
+            num_rounds=2,
+            server_faults=(
+                ServerFault(round_number=3, chain_id=0, position=0,
+                            mode="tamper-ciphertext"),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            plan.validate()
+
+    def test_segments_split_at_blame_rounds(self):
+        plan = tamper_and_recover(fault_round=2, num_rounds=4)
+        assert plan.segments() == ((1, 2), (3, 4))
+        quiet = FaultPlan(name="quiet", num_rounds=3)
+        assert quiet.segments() == ((1, 3),)
+        final = tamper_and_recover(fault_round=4, num_rounds=4)
+        assert final.segments() == ((1, 4),)
+
+    def test_link_fault_round_past_the_plan_rejected(self):
+        plan = FaultPlan(
+            name="never-fires",
+            num_rounds=2,
+            link_faults=(
+                LinkFault(behaviour=DROP, kind=ev.SUBMISSION,
+                          rounds=frozenset({5})),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            plan.validate()
+
+    def test_unknown_server_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerFault(round_number=1, chain_id=0, position=0, mode="lie")
+
+    def test_unknown_user_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserFault(round_number=1, chain_id=0, sender="m", kind="gossip")
+
+
+class TestScenarioReproducibility:
+    def test_same_plan_same_seeded_deployment_is_bit_identical(self):
+        first = run_scenario(misauthenticating_user(seed=5))
+        second = run_scenario(misauthenticating_user(seed=5))
+        assert first.canonical_bytes() == second.canonical_bytes()
+
+    def test_canned_scenarios_all_execute(self):
+        for name, factory in CANNED_SCENARIOS.items():
+            report = run_scenario(factory())
+            assert report.plan_name == factory().name
+            assert len(report.rounds) == factory().num_rounds

@@ -16,7 +16,8 @@ class TestFigureStructure:
             assert len(values) == len(figure["x"]), series_name
 
     def test_registry_covers_all_evaluation_figures(self):
-        assert set(figures.ALL_FIGURES) == {f"fig{i}" for i in range(2, 9)}
+        expected = {f"fig{i}" for i in range(2, 9)} | {"fig7_recovery"}
+        assert set(figures.ALL_FIGURES) == expected
 
 
 class TestFigureShapes:
