@@ -93,6 +93,55 @@ def test_measured_bandwidth_stable_across_rounds(traffic_run):
     assert len(downloads) == 1
 
 
+def test_measured_bandwidth_batched_population(benchmark):
+    """The fig2 companion on the batched population path.
+
+    One framed upload per chain and one framed download per mailbox shard
+    replace the per-user envelopes; the per-user split is reconstructed
+    from the population's rosters.  Uploads stay within the 5% bar (the
+    batch adds a 4-byte length prefix per submission); downloads carry the
+    owner key explicitly on the wire (+32 B/user/round), so the batched
+    download bar is a documented 8%.
+    """
+    config = DeploymentConfig(
+        num_servers=8,
+        num_users=10,
+        num_chains=4,
+        malicious_fraction=0.2,
+        security_bits=16,
+        seed=1702,
+        group_kind="modp",
+        transport="instrumented",
+        population="batched",
+    )
+    deployment = Deployment.create(config)
+    a, b = deployment.users[0].name, deployment.users[1].name
+    deployment.start_conversation(a, b)
+    deployment.run_round(payloads={a: b"ping", b: b"pong"})
+    comparison = benchmark.pedantic(
+        lambda: measured_vs_model_bandwidth(deployment, 1), rounds=1, iterations=1
+    )
+    save_result(
+        "transport_measured_vs_model_bandwidth_batched",
+        "Per-user bytes per round reconstructed from population batch frames\n"
+        + render_table(
+            ["direction", "measured B", "model B", "delta"],
+            [
+                ["upload", f"{comparison['measured_upload_bytes']:.0f}",
+                 comparison["model_upload_bytes"],
+                 f"{100 * (comparison['upload_ratio'] - 1):+.2f}%"],
+                ["download", f"{comparison['measured_download_bytes']:.0f}",
+                 comparison["model_download_bytes"],
+                 f"{100 * (comparison['download_ratio'] - 1):+.2f}%"],
+            ],
+        ),
+    )
+    assert comparison["users_measured"] == config.num_users
+    assert abs(comparison["upload_ratio"] - 1) <= TOLERANCE
+    assert abs(comparison["download_ratio"] - 1) <= 0.08
+    deployment.close()
+
+
 def test_measured_latency_companion(benchmark, traffic_run):
     deployment = traffic_run
     comparison = benchmark(measured_vs_model_latency, deployment, 1)

@@ -43,14 +43,74 @@ def _ledger_or_raise(deployment):
     return ledger
 
 
+def _population_per_user_bytes(deployment, round_number: int) -> Dict:
+    """Per-user upload/download bytes reconstructed from batch frames.
+
+    A batched deployment uploads one framed ``SUBMISSION_BATCH`` per
+    (chain, round) and downloads one ``MAILBOX_FETCH_BATCH`` per shard, so
+    the ledger carries frame totals rather than per-user records.  The
+    split is exact under the same full-attendance assumption the mean
+    comparison already makes: every submission of a deployment has the same
+    wire size, so a chain frame divides evenly over its roster, and a fetch
+    frame's per-owner share is re-encoded from the hub's stored messages.
+    """
+    from repro.transport import (
+        COVER_SUBMISSION_BATCH,
+        MAILBOX_FETCH_BATCH,
+        SUBMISSION_BATCH,
+    )
+    from repro.transport.codec import _encode_mailbox_batch, _pack_bytes
+
+    ledger = _ledger_or_raise(deployment)
+    population = deployment.population
+    uploads: Dict[str, float] = {}
+    downloads: Dict[str, float] = {}
+    for record in ledger.records_for_round(round_number):
+        if record.kind in (SUBMISSION_BATCH, COVER_SUBMISSION_BATCH):
+            roster = population.chain_rosters.get(record.chain_id, [])
+            if roster:
+                share = record.num_bytes / len(roster)
+                for sender in roster:
+                    uploads[sender] = uploads.get(sender, 0.0) + share
+        elif record.kind == MAILBOX_FETCH_BATCH:
+            # Re-encode each owner's framed share with the codec itself
+            # (length-prefixed owner key plus her mailbox batch encoding) so
+            # the reconstruction tracks the wire format by construction; the
+            # frame's own count header is spread evenly.
+            shard_users = [
+                user
+                for user in population.users
+                if deployment.mailboxes.server_name_for(user.public_bytes) == record.source
+            ]
+            header_share = _FRAME_PREFIX / len(shard_users) if shard_users else 0.0
+            for user in shard_users:
+                messages = deployment.mailboxes.get(round_number, user.public_bytes)
+                pair_bytes = len(_pack_bytes(user.public_bytes)) + len(
+                    _encode_mailbox_batch(messages)
+                )
+                downloads[user.name] = (
+                    downloads.get(user.name, 0.0) + pair_bytes + header_share
+                )
+    return {
+        user: (uploads.get(user, 0.0), downloads.get(user, 0.0))
+        for user in set(uploads) | set(downloads)
+    }
+
+
 def measured_vs_model_bandwidth(deployment, round_number: int) -> Dict:
     """Mean measured per-user bytes for one round vs. the analytic prediction.
 
     The comparison is only meaningful for a round in which every user was
     online (offline users upload nothing, pulling the measured mean down).
+    On a batched deployment the per-user split is reconstructed from the
+    population's batch frames (:func:`_population_per_user_bytes`); batching
+    carries the owner key on the download wire explicitly, so its framing
+    overhead is slightly higher than the object path's.
     """
     ledger = _ledger_or_raise(deployment)
     per_user = ledger.per_user_bytes(round_number)
+    if not per_user and getattr(deployment, "population", None) is not None:
+        per_user = _population_per_user_bytes(deployment, round_number)
     if not per_user:
         raise SimulationError(f"no traffic recorded for round {round_number}")
     uploads = [upload for upload, _ in per_user.values()]

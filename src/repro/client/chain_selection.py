@@ -39,6 +39,7 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def ell_for_chains(num_chains: int) -> int:
     """Number of chains ``ℓ`` each user connects to, for ``n`` physical chains.
 
@@ -99,18 +100,32 @@ def chains_for_group(group_index: int, num_chains: int) -> List[int]:
     return [_logical_to_physical(logical, num_chains) for logical in sets[group_index]]
 
 
-def chains_for_user(public_key_bytes: bytes, num_chains: int) -> List[int]:
-    """Physical chain ids the owner of ``public_key_bytes`` must send to each round."""
+@lru_cache(maxsize=1 << 16)
+def _chains_for_user_cached(public_key_bytes: bytes, num_chains: int) -> Tuple[int, ...]:
     ell = ell_for_chains(num_chains)
     group_index = assign_group(public_key_bytes, ell + 1)
-    return chains_for_group(group_index, num_chains)
+    return tuple(chains_for_group(group_index, num_chains))
 
 
+def chains_for_user(public_key_bytes: bytes, num_chains: int) -> List[int]:
+    """Physical chain ids the owner of ``public_key_bytes`` must send to each round.
+
+    Assignments are pure functions of the (public key, chain count) pair and
+    are re-derived for every user every round on the hot submission path, so
+    the result is memoised per epoch configuration; the cache is shared by
+    the per-user and population build paths and by partner-intersection
+    lookups.
+    """
+    return list(_chains_for_user_cached(public_key_bytes, num_chains))
+
+
+@lru_cache(maxsize=1 << 16)
 def intersection_logical_chain(public_key_a: bytes, public_key_b: bytes, num_chains: int) -> int:
     """Smallest-index *logical* chain shared by the two users' groups.
 
     The tie-break (smallest index) matches §5.3.2 and is what makes both
-    partners pick the same chain independently.
+    partners pick the same chain independently.  Cached: conversation
+    partners re-derive their intersection every round.
     """
     ell = ell_for_chains(num_chains)
     sets = build_group_chain_sets(ell)

@@ -28,7 +28,7 @@ from repro.transport.envelope import Envelope, submission_envelope
 __all__ = ["ChainKeysView", "ReceivedMessage", "User"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChainKeysView:
     """The public key material a user needs to submit to one chain in one round."""
 
@@ -37,7 +37,7 @@ class ChainKeysView:
     aggregate_inner_public: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceivedMessage:
     """A decrypted mailbox message, classified by the receiving user."""
 

@@ -49,6 +49,7 @@ from repro.engine import (
 from repro.errors import ConfigurationError, ProtocolError
 from repro.mailbox import MailboxHub
 from repro.mixnet.ahs import ChainMember, MixChain
+from repro.population import UserPopulation
 from repro.mixnet.chain import ChainTopology, form_chains, required_chain_length
 from repro.mixnet.messages import ClientSubmission
 from repro.transport import Transport, make_transport
@@ -107,6 +108,12 @@ class DeploymentConfig:
     #: envelope is serialised to its real wire encoding and accounted in a
     #: traffic ledger; observable behaviour is bit-identical).
     transport: str = "inproc"
+    #: How the honest user side executes: ``"object"`` (default — one
+    #: :class:`~repro.client.user.User` at a time, the reference semantics)
+    #: or ``"batched"`` (a :class:`~repro.population.UserPopulation` builds
+    #: and fetches whole chains at once over framed batch envelopes;
+    #: bit-identical, DESIGN.md §7).
+    population: str = "object"
 
     def resolved_num_chains(self) -> int:
         return self.num_chains if self.num_chains is not None else self.num_servers
@@ -140,6 +147,8 @@ class DeploymentConfig:
             raise ConfigurationError("max_workers must be positive when set")
         if self.transport not in ("inproc", "instrumented"):
             raise ConfigurationError("transport must be 'inproc' or 'instrumented'")
+        if self.population not in ("object", "batched"):
+            raise ConfigurationError("population must be 'object' or 'batched'")
 
 
 class MixServerNode:
@@ -202,6 +211,15 @@ class Deployment:
         self.entry_servers: Dict[int, str] = {
             topology.chain_id: topology.servers[0] for topology in topologies
         }
+        #: Columnar batch views over the honest users (``None`` on the
+        #: per-user object path).  Chain assignments derive from public keys
+        #: alone, so the views survive churn recovery and chain re-formation
+        #: unchanged; per-round key material is always passed in fresh.
+        self.population = (
+            UserPopulation(group, users, len(chains))
+            if config.population == "batched"
+            else None
+        )
         self.next_round = 1
         self._users_by_name = {user.name: user for user in users}
         self._chains_by_id = {chain.chain_id: chain for chain in chains}

@@ -16,17 +16,31 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.constants import AEAD_NONCE_SIZE, AEAD_TAG_SIZE
-from repro.crypto.chacha20 import chacha20_block, chacha20_encrypt
+from repro.crypto.chacha20 import (
+    BLOCK_SIZE,
+    chacha20_block,
+    chacha20_blocks_batch,
+    chacha20_encrypt,
+    chacha20_keystreams,
+    xor_bytes,
+)
 from repro.crypto.poly1305 import poly1305_mac, poly1305_verify
 from repro.errors import CryptoError
 
-__all__ = ["AuthenticatedCiphertext", "aenc", "adec", "ciphertext_overhead"]
+__all__ = [
+    "AuthenticatedCiphertext",
+    "aenc",
+    "adec",
+    "aenc_batch",
+    "adec_batch",
+    "ciphertext_overhead",
+]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuthenticatedCiphertext:
     """A ciphertext together with its Poly1305 tag."""
 
@@ -120,3 +134,113 @@ def adec(key: bytes, nonce, data: bytes, aad: bytes = b"") -> Tuple[bool, Option
 def ciphertext_overhead(layers: int = 1) -> int:
     """Bytes of overhead added by ``layers`` nested authenticated encryptions."""
     return layers * AEAD_TAG_SIZE
+
+
+# ---------------------------------------------------------------------------
+# Batched AEAD: many independent (key, message) pairs in one keystream pass
+# ---------------------------------------------------------------------------
+#
+# The population layer seals whole chains' worth of messages per call (every
+# online user of a chain shares the round nonce but owns her own key), and
+# the mix servers strip one outer layer from a whole batch at once.  Each
+# message needs the Poly1305 one-time-key block (counter 0) plus its payload
+# blocks (counters 1…), all under its own key — so the batch flattens to one
+# :func:`~repro.crypto.chacha20.chacha20_blocks_batch` call.  The per-message
+# outputs are byte-identical to :func:`aenc` / :func:`adec`.
+
+
+def _batch_keystreams(keys: Sequence[bytes], nonces: Sequence[bytes],
+                      lengths: Sequence[int]):
+    """Per-message ``(poly1305 one-time key, payload keystream)`` pairs."""
+    block_keys: List[bytes] = []
+    block_nonces: List[bytes] = []
+    block_counters: List[int] = []
+    block_counts: List[int] = []
+    for key, nonce, length in zip(keys, nonces, lengths):
+        blocks = 1 + (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+        block_counts.append(blocks)
+        block_keys.extend([key] * blocks)
+        block_nonces.extend([nonce] * blocks)
+        block_counters.extend(range(blocks))
+    flat = chacha20_blocks_batch(block_keys, block_nonces, block_counters)
+    pairs = []
+    offset = 0
+    for blocks, length in zip(block_counts, lengths):
+        otk = flat[offset:offset + 32]
+        payload_stream = flat[offset + BLOCK_SIZE:offset + BLOCK_SIZE + length]
+        pairs.append((otk, payload_stream))
+        offset += blocks * BLOCK_SIZE
+    return pairs
+
+
+def _normalise_nonces(nonce, count: int) -> List[bytes]:
+    if isinstance(nonce, (list, tuple)):
+        if len(nonce) != count:
+            raise CryptoError("one nonce per message required")
+        return [_normalise_nonce(item) for item in nonce]
+    return [_normalise_nonce(nonce)] * count
+
+
+def aenc_batch(keys: Sequence[bytes], nonce, plaintexts: Sequence[bytes],
+               aad: bytes = b"") -> List[bytes]:
+    """Batched :func:`aenc`: ``[aenc(k, nonce, m) for k, m in zip(...)]``.
+
+    ``nonce`` is shared (a round number or 12-byte nonce) or a per-message
+    sequence.  All messages share ``aad``.
+    """
+    if len(keys) != len(plaintexts):
+        raise CryptoError("one key per plaintext required")
+    for key in keys:
+        if len(key) != 32:
+            raise CryptoError("AEAD key must be 32 bytes")
+    nonces = _normalise_nonces(nonce, len(keys))
+    lengths = [len(plaintext) for plaintext in plaintexts]
+    out: List[bytes] = []
+    for (otk, stream), plaintext in zip(_batch_keystreams(keys, nonces, lengths), plaintexts):
+        ciphertext = xor_bytes(plaintext, stream)
+        tag = poly1305_mac(_mac_data(aad, ciphertext), otk)
+        out.append(ciphertext + tag)
+    return out
+
+
+def adec_batch(keys: Sequence[bytes], nonce, datas: Sequence[bytes],
+               aad: bytes = b"") -> List[Tuple[bool, Optional[bytes]]]:
+    """Batched :func:`adec`: per-message ``(ok, plaintext)`` pairs.
+
+    Messages shorter than a tag fail without consuming keystream, exactly
+    like the scalar path.
+    """
+    if len(keys) != len(datas):
+        raise CryptoError("one key per ciphertext required")
+    for key in keys:
+        if len(key) != 32:
+            raise CryptoError("AEAD key must be 32 bytes")
+    try:
+        nonces = _normalise_nonces(nonce, len(keys))
+    except CryptoError:
+        return [(False, None)] * len(keys)
+    # Pass 1: one counter-0 block per message yields every Poly1305 one-time
+    # key.  Verify-before-decrypt matters here more than in scalar adec:
+    # the fetch cascade's trials fail by design (every message authenticates
+    # under exactly one of its candidate keys), so payload keystream must
+    # only be spent on the messages whose tag verifies.
+    otk_flat = chacha20_blocks_batch(keys, nonces, [0] * len(keys))
+    results: List[Tuple[bool, Optional[bytes]]] = [(False, None)] * len(keys)
+    survivors: List[Tuple[int, bytes]] = []
+    for index, data in enumerate(datas):
+        if len(data) < AEAD_TAG_SIZE:
+            continue
+        ciphertext, tag = data[:-AEAD_TAG_SIZE], data[-AEAD_TAG_SIZE:]
+        otk = otk_flat[index * BLOCK_SIZE:index * BLOCK_SIZE + 32]
+        if poly1305_verify(_mac_data(aad, ciphertext), otk, tag):
+            survivors.append((index, ciphertext))
+    if survivors:
+        # Pass 2: payload keystream (counters 1…) for the survivors only.
+        streams = chacha20_keystreams(
+            [keys[index] for index, _ in survivors],
+            [nonces[index] for index, _ in survivors],
+            [len(ciphertext) for _, ciphertext in survivors],
+        )
+        for (index, ciphertext), stream in zip(survivors, streams):
+            results[index] = (True, xor_bytes(ciphertext, stream))
+    return results

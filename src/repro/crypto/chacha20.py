@@ -4,14 +4,36 @@ The paper's prototype uses NaCl secretbox for authenticated encryption, whose
 modern IETF equivalent is ChaCha20-Poly1305.  This module provides the keyed
 permutation and block/stream functions; :mod:`repro.crypto.poly1305` and
 :mod:`repro.crypto.aead` build the AEAD construction on top.
+
+Two implementations share one block function contract:
+
+* the scalar reference path (:func:`chacha20_block`), used for single
+  messages; and
+* a batched path (:func:`chacha20_blocks_batch`) that evaluates many
+  independent blocks at once.  When numpy is available the 20 rounds run as
+  vectorised ``uint32`` column operations over the whole batch — the state
+  matrices of *B* blocks form a ``(16, B)`` array, so each quarter-round is
+  a handful of array ops regardless of batch size.  Without numpy the batch
+  falls back to the scalar block in a loop.  Both paths are bit-identical
+  (the batched output is compared against the scalar reference in the test
+  suite), so callers may batch opportunistically without observable change.
+
+The batched path is what makes the population layer's whole-chain AEAD
+passes (seal → inner envelope → ℓ outer layers, for every user of a chain
+at once) affordable in pure Python; see DESIGN.md §7.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import List, Sequence
 
 from repro.errors import CryptoError
+
+try:  # optional vectorisation; every caller has a scalar fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 _MASK32 = 0xFFFFFFFF
 _CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
@@ -75,6 +97,18 @@ def chacha20_keystream(key: bytes, nonce: bytes, length: int, initial_counter: i
     return b"".join(blocks)[:length]
 
 
+def xor_bytes(left: bytes, right: bytes) -> bytes:
+    """XOR ``left`` against the prefix of ``right`` (``len(left)`` bytes).
+
+    One big-integer XOR instead of a per-byte Python loop — ~20× faster for
+    the 300-byte payloads that dominate this codebase.
+    """
+    length = len(left)
+    return (
+        int.from_bytes(left, "little") ^ int.from_bytes(right[:length], "little")
+    ).to_bytes(length, "little")
+
+
 def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, initial_counter: int = 1) -> bytes:
     """Encrypt (or decrypt) ``plaintext`` with the ChaCha20 stream cipher.
 
@@ -82,7 +116,108 @@ def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, initial_counter
     reserves counter 0 for the Poly1305 one-time key.
     """
     keystream = chacha20_keystream(key, nonce, len(plaintext), initial_counter)
-    return bytes(p ^ k for p, k in zip(plaintext, keystream))
+    return xor_bytes(plaintext, keystream)
 
 
 chacha20_decrypt = chacha20_encrypt
+
+
+# ---------------------------------------------------------------------------
+# Batched keystream generation
+# ---------------------------------------------------------------------------
+
+#: Below this many blocks the numpy dispatch overhead beats its per-block
+#: savings and the scalar loop wins.
+_BATCH_THRESHOLD = 16
+
+
+def _blocks_batch_numpy(keys: Sequence[bytes], nonces: Sequence[bytes],
+                        counters: Sequence[int]) -> bytes:
+    """All requested blocks, concatenated, via vectorised uint32 columns."""
+    count = len(keys)
+    state = _np.empty((16, count), dtype=_np.uint32)
+    for index, constant in enumerate(_CONSTANTS):
+        state[index] = constant
+    state[4:12] = _np.frombuffer(b"".join(keys), dtype="<u4").reshape(count, 8).T
+    state[12] = _np.asarray(counters, dtype=_np.uint32)
+    state[13:16] = _np.frombuffer(b"".join(nonces), dtype="<u4").reshape(count, 3).T
+    working = state.copy()
+
+    def quarter_round(a: int, b: int, c: int, d: int) -> None:
+        working[a] += working[b]
+        mixed = working[d] ^ working[a]
+        working[d] = (mixed << _np.uint32(16)) | (mixed >> _np.uint32(16))
+        working[c] += working[d]
+        mixed = working[b] ^ working[c]
+        working[b] = (mixed << _np.uint32(12)) | (mixed >> _np.uint32(20))
+        working[a] += working[b]
+        mixed = working[d] ^ working[a]
+        working[d] = (mixed << _np.uint32(8)) | (mixed >> _np.uint32(24))
+        working[c] += working[d]
+        mixed = working[b] ^ working[c]
+        working[b] = (mixed << _np.uint32(7)) | (mixed >> _np.uint32(25))
+
+    for _ in range(10):
+        quarter_round(0, 4, 8, 12)
+        quarter_round(1, 5, 9, 13)
+        quarter_round(2, 6, 10, 14)
+        quarter_round(3, 7, 11, 15)
+        quarter_round(0, 5, 10, 15)
+        quarter_round(1, 6, 11, 12)
+        quarter_round(2, 7, 8, 13)
+        quarter_round(3, 4, 9, 14)
+    working += state
+    # Transpose so each block's 16 little-endian words are contiguous.
+    return working.T.astype("<u4").tobytes()
+
+
+def chacha20_blocks_batch(keys: Sequence[bytes], nonces: Sequence[bytes],
+                          counters: Sequence[int]) -> bytes:
+    """Concatenation of ``chacha20_block(keys[i], counters[i], nonces[i])``.
+
+    Inputs are validated like the scalar block function; the output is
+    bit-identical to calling it in a loop.
+    """
+    if not (len(keys) == len(nonces) == len(counters)):
+        raise CryptoError("one nonce and one counter per key required")
+    for key, nonce, counter in zip(keys, nonces, counters):
+        if len(key) != KEY_SIZE:
+            raise CryptoError("ChaCha20 key must be 32 bytes")
+        if len(nonce) != NONCE_SIZE:
+            raise CryptoError("ChaCha20 nonce must be 12 bytes")
+        if not 0 <= counter < 2**32:
+            raise CryptoError("ChaCha20 block counter out of range")
+    if _np is not None and len(keys) >= _BATCH_THRESHOLD:
+        return _blocks_batch_numpy(keys, nonces, counters)
+    return b"".join(
+        chacha20_block(key, counter, nonce)
+        for key, nonce, counter in zip(keys, nonces, counters)
+    )
+
+
+def chacha20_keystreams(keys: Sequence[bytes], nonces: Sequence[bytes],
+                        lengths: Sequence[int], initial_counter: int = 1) -> List[bytes]:
+    """Per-message keystreams for a batch of independent (key, nonce) pairs.
+
+    Message ``i`` receives ``lengths[i]`` keystream bytes starting at block
+    ``initial_counter`` — exactly what ``chacha20_keystream`` would return
+    for it — but the blocks of the whole batch are evaluated in one
+    vectorised pass.  Ragged lengths are supported.
+    """
+    block_keys: List[bytes] = []
+    block_nonces: List[bytes] = []
+    block_counters: List[int] = []
+    block_counts: List[int] = []
+    for key, nonce, length in zip(keys, nonces, lengths):
+        blocks = max(0, (length + BLOCK_SIZE - 1) // BLOCK_SIZE)
+        block_counts.append(blocks)
+        block_keys.extend([key] * blocks)
+        block_nonces.extend([nonce] * blocks)
+        block_counters.extend(range(initial_counter, initial_counter + blocks))
+    flat = chacha20_blocks_batch(block_keys, block_nonces, block_counters)
+    streams: List[bytes] = []
+    offset = 0
+    for blocks, length in zip(block_counts, lengths):
+        streams.append(flat[offset:offset + length])
+        offset += blocks * BLOCK_SIZE
+    return streams

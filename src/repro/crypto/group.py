@@ -35,6 +35,7 @@ __all__ = [
     "multi_scalar_mult",
     "multi_scalar_accumulate",
     "scalar_mult_batch",
+    "fixed_point_mult_batch",
 ]
 
 # --- edwards25519 parameters (RFC 8032) -------------------------------------
@@ -223,15 +224,19 @@ def _base_comb() -> List[List[Point]]:
     return _BASE_COMB
 
 
-def _windowed_mult(point: Point, digits: List[int]) -> Point:
-    """Multiply ``point`` by the scalar whose 4-bit digits (LSB first) are given."""
-    table = _window_table(point)
+def _windowed_mult_with_table(table: List[Point], digits: List[int]) -> Point:
+    """The 4-bit window ladder over a prebuilt table — the one copy of it."""
     result = _IDENTITY
     for digit in reversed(digits):
         result = _edwards_double(_edwards_double(_edwards_double(_edwards_double(result))))
         if digit:
             result = _edwards_add(result, table[digit - 1])
     return result
+
+
+def _windowed_mult(point: Point, digits: List[int]) -> Point:
+    """Multiply ``point`` by the scalar whose 4-bit digits (LSB first) are given."""
+    return _windowed_mult_with_table(_window_table(point), digits)
 
 
 class Ed25519Group:
@@ -587,3 +592,29 @@ def scalar_mult_batch(group, points: Sequence, scalar: int) -> List:
     if batch is not None:
         return batch(points, scalar)
     return [group.scalar_mult(point, scalar) for point in points]
+
+
+def fixed_point_mult_batch(group, point, scalars: Sequence[int]) -> List:
+    """Return ``[s·P for s in scalars]`` — one point, many scalars.
+
+    The dual of :func:`scalar_mult_batch`, and the shape of the population
+    layer's whole-chain client crypto: every user of a chain multiplies the
+    *same* public key (the aggregate inner key, or one mixing key) by her own
+    fresh scalar.  On the curve the point's window table is built once for
+    the whole batch; ``scalar_mult`` would rebuild or cache-lookup it per
+    call.
+    """
+    if isinstance(group, Ed25519Group):
+        reduced = [scalar % group.order for scalar in scalars]
+        if point is _BASE_POINT or point == _BASE_POINT:
+            return [group.base_mult(scalar) for scalar in reduced]
+        if point.is_identity():
+            return [_IDENTITY for _ in reduced]
+        table = _window_table(point)
+        return [
+            _IDENTITY
+            if scalar == 0
+            else _windowed_mult_with_table(table, _scalar_windows(scalar))
+            for scalar in reduced
+        ]
+    return [group.scalar_mult(point, scalar) for scalar in scalars]

@@ -35,7 +35,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchnorrProof:
     """Proof of knowledge of ``x`` such that ``public = x · base``."""
 
@@ -46,7 +46,7 @@ class SchnorrProof:
         return self.commitment + group.encode_scalar(self.response)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DleqProof:
     """Proof that ``log_base1(public1) = log_base2(public2)``."""
 

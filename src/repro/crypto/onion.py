@@ -28,7 +28,7 @@ from repro.constants import (
     KDF_LABEL_OUTER,
     PAYLOAD_SIZE,
 )
-from repro.crypto.aead import adec, aenc
+from repro.crypto.aead import adec, adec_batch, aenc
 from repro.crypto.kdf import shared_key_from_element
 from repro.errors import CryptoError
 
@@ -40,6 +40,7 @@ __all__ = [
     "inner_envelope_key",
     "encrypt_inner",
     "decrypt_inner",
+    "decrypt_inner_batch",
     "encrypt_outer_layers",
     "decrypt_outer_layer",
     "encrypt_onion_baseline",
@@ -93,7 +94,7 @@ def inner_envelope_key(group, dh_element) -> bytes:
 # Inner envelope (AHS)
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InnerEnvelope:
     """The inner ciphertext ``e = (g^y, AEnc(DH(Σ ipk, y), ρ, m))`` of §6.2."""
 
@@ -135,6 +136,37 @@ def decrypt_inner(group, inner_secrets: Sequence[int], round_number: int, envelo
     shared = group.scalar_mult(ephemeral_public, aggregate_secret)
     key = inner_envelope_key(group, shared)
     return adec(key, round_number, envelope.ciphertext)
+
+
+def decrypt_inner_batch(
+    group, inner_secrets: Sequence[int], round_number: int,
+    envelopes: Sequence[InnerEnvelope],
+) -> List[Tuple[bool, Optional[bytes]]]:
+    """Batched :func:`decrypt_inner` over one round's recovered envelopes.
+
+    Per-envelope results are identical to the scalar path (an envelope whose
+    ephemeral key fails to decode yields ``(False, None)``); the DH shared
+    elements use the many-points-one-scalar fast path and the AEAD opens run
+    as one batched keystream pass.
+    """
+    from repro.crypto.group import scalar_mult_batch  # deferred: group imports field only
+
+    aggregate_secret = sum(inner_secrets) % group.order
+    results: List[Tuple[bool, Optional[bytes]]] = [(False, None)] * len(envelopes)
+    decodable = []
+    points = []
+    for index, envelope in enumerate(envelopes):
+        try:
+            points.append(group.decode(envelope.ephemeral_public))
+        except Exception:
+            continue
+        decodable.append(index)
+    shared_elements = scalar_mult_batch(group, points, aggregate_secret)
+    keys = [inner_envelope_key(group, shared) for shared in shared_elements]
+    opened = adec_batch(keys, round_number, [envelopes[i].ciphertext for i in decodable])
+    for index, result in zip(decodable, opened):
+        results[index] = result
+    return results
 
 
 # --------------------------------------------------------------------------

@@ -30,7 +30,9 @@ from repro.engine.stages import ChainOutcome, RoundContext, RoundReport, RoundSp
 from repro.transport.envelope import (
     MAILBOX_DELIVERY,
     MAILBOX_FETCH,
+    MAILBOX_FETCH_BATCH,
     Envelope,
+    submission_batch_envelope,
     submission_envelope,
 )
 
@@ -132,10 +134,18 @@ class RoundEngine:
         happen in :meth:`finalize_collect`, after that fetch.  A user's own
         draw order never changes — only *when* it runs — so reports stay
         bit-identical to serial execution.
+
+        When the deployment carries a :class:`~repro.population.
+        UserPopulation`, the online builds run through its whole-chain batch
+        path instead of the per-user loop; users the population does not own
+        (adversarial wrappers swapped into ``deployment.users``) keep the
+        per-user path.
         """
         deployment = self.deployment
+        population = deployment.population
         spec = ctx.spec
         report = ctx.report
+        batched = []
         for user in deployment.users:
             if user.name in spec.offline_users:
                 report.offline_users.append(user.name)
@@ -157,7 +167,81 @@ class RoundEngine:
             if user.name in defer:
                 ctx.deferred_users.append(user.name)
                 continue
+            if population is not None and population.owns(user):
+                batched.append(user)
+                continue
             self._build_user_submissions(ctx, user)
+        if batched:
+            self._build_population_submissions(ctx, batched)
+
+    # -- population (batched) build path -----------------------------------------
+
+    def _upload_submission_batches(
+        self, ctx: RoundContext, per_chain, cover: bool
+    ) -> dict:
+        """Ship per-chain batches over the transport; scatter back per sender.
+
+        One framed envelope crosses each (chain, entry-server) link.  The
+        delivered (possibly re-decoded) submissions are scattered into
+        per-sender FIFO queues keyed by chain, from which
+        :meth:`_build_population_submissions` reassembles each user's list in
+        her own chain-slot order — the exact shape the per-user path stores.
+        """
+        deployment = self.deployment
+        queues: dict = {}
+        for chain_id, submissions in per_chain.items():
+            delivered = deployment.transport.deliver(
+                submission_batch_envelope(
+                    chain_id,
+                    submissions,
+                    deployment.entry_servers,
+                    ctx.round_number,
+                    cover=cover,
+                )
+            )
+            chain_queues = queues.setdefault(chain_id, {})
+            for submission in delivered or []:
+                chain_queues.setdefault(submission.sender, []).append(submission)
+        return queues
+
+    def _scatter_batch(self, queues: dict, users) -> dict:
+        """Rebuild per-user submission lists from per-chain sender queues."""
+        population = self.deployment.population
+        per_user: dict = {}
+        for user in users:
+            submissions = []
+            for chain_id in population.chain_assignments[user.name]:
+                queue = queues.get(chain_id, {}).get(user.name)
+                if queue:
+                    submissions.append(queue.pop(0))
+            per_user[user.name] = submissions
+        # Anything left in a queue (a duplicated batch element from a link
+        # fault) still belongs to its sender; append in chain order.
+        for chain_id in sorted(queues):
+            for sender, leftover in queues[chain_id].items():
+                if sender in per_user and leftover:
+                    per_user[sender].extend(leftover)
+        return per_user
+
+    def _build_population_submissions(self, ctx: RoundContext, users) -> None:
+        """Batched equivalent of :meth:`_build_user_submissions` for ``users``."""
+        deployment = self.deployment
+        population = deployment.population
+        per_chain = population.build_round_submissions_batch(
+            ctx.round_number, ctx.current_views, users, payloads=ctx.spec.payloads
+        )
+        delivered = self._scatter_batch(
+            self._upload_submission_batches(ctx, per_chain, cover=False), users
+        )
+        ctx.user_submissions.update(delivered)
+        if deployment.config.use_cover_messages:
+            cover_chains = population.build_cover_submissions_batch(
+                ctx.round_number + 1, ctx.next_views, users
+            )
+            banked = self._scatter_batch(
+                self._upload_submission_batches(ctx, cover_chains, cover=True), users
+            )
+            deployment._cover_store.update(banked)
 
     def finalize_collect(self, ctx: RoundContext) -> None:
         """Build any deferred users' submissions and assemble the chain batches.
@@ -244,11 +328,22 @@ class RoundEngine:
             deployment.note_convictions(ctx.round_number, chain_id, servers)
 
     def fetch(self, ctx: RoundContext) -> None:
-        """Each online user fetches and decrypts her mailbox."""
+        """Each online user fetches and decrypts her mailbox.
+
+        With a population, the downloads are framed per mailbox shard (one
+        envelope per shard instead of one per user) and decrypted through
+        the population's batched trial-decryption cascade; users the
+        population does not own keep the per-user flow.
+        """
         deployment = self.deployment
+        population = deployment.population
         report = ctx.report
+        batched = []
         for user in deployment.users:
             if user.name in ctx.spec.offline_users:
+                continue
+            if population is not None and population.owns(user):
+                batched.append(user)
                 continue
             inbox = deployment.mailboxes.get(ctx.round_number, user.public_bytes)
             # The mailbox server sends the user her round's download.
@@ -265,6 +360,37 @@ class RoundEngine:
             report.delivered[user.name] = user.decrypt_mailbox(
                 ctx.round_number, inbox, deployment.num_chains
             )
+        if batched:
+            self._fetch_population(ctx, batched)
+
+    def _fetch_population(self, ctx: RoundContext, users) -> None:
+        """Batched fetch: one framed download per mailbox shard."""
+        deployment = self.deployment
+        report = ctx.report
+        inboxes_by_owner: dict = {}
+        for server, owners in deployment.mailboxes.shard_owners(
+            [user.public_bytes for user in users]
+        ):
+            pairs = deployment.mailboxes.fetch_batch(ctx.round_number, owners)
+            delivered = deployment.transport.deliver(
+                Envelope(
+                    kind=MAILBOX_FETCH_BATCH,
+                    source=server.name,
+                    destination="user-population",
+                    round_number=ctx.round_number,
+                    payload=pairs,
+                )
+            )
+            for owner, messages in delivered or []:
+                inboxes_by_owner.setdefault(owner, []).extend(messages)
+        inboxes = [inboxes_by_owner.get(user.public_bytes, []) for user in users]
+        for user, inbox in zip(users, inboxes):
+            report.mailbox_counts[user.name] = len(inbox)
+        report.delivered.update(
+            deployment.population.decrypt_mailboxes_batch(
+                ctx.round_number, users, inboxes, deployment.num_chains
+            )
+        )
 
     # -- multi-round convenience ------------------------------------------------
 

@@ -1,5 +1,5 @@
 """Mailbox servers (§5.1): per-user message stores trusted only for availability."""
 
-from repro.mailbox.mailbox import Mailbox, MailboxHub, MailboxServer
+from repro.mailbox.mailbox import Mailbox, MailboxHub, MailboxServer, ShardedMailboxHub
 
-__all__ = ["Mailbox", "MailboxHub", "MailboxServer"]
+__all__ = ["Mailbox", "MailboxHub", "MailboxServer", "ShardedMailboxHub"]

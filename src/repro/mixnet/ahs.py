@@ -36,8 +36,13 @@ from repro.crypto.nizk import (
     verify_dleq,
     verify_dlog,
 )
+from repro.crypto.aead import adec_batch
 from repro.crypto.group import scalar_mult_batch
-from repro.crypto.onion import InnerEnvelope, decrypt_inner, decrypt_outer_layer
+from repro.crypto.onion import (
+    InnerEnvelope,
+    decrypt_inner_batch,
+    outer_layer_key,
+)
 from repro.errors import ProofError, ProtocolError
 from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage, batch_digest
 from repro.transport.envelope import BATCH, Envelope
@@ -251,17 +256,22 @@ class ChainMember:
         rng = self._round_rng(round_number)
         record = self._rounds.setdefault(round_number, _RoundRecord())
         record.inputs = list(entries)
+        dh_publics = [entry.dh_public for entry in entries]
         # Batched blinding fast path: every DH key is multiplied by the same
         # blinding secret, so the scalar is recoded once for the whole batch.
-        blinded_keys = scalar_mult_batch(
-            group, [entry.dh_public for entry in entries], self.blinding_secret
+        blinded_keys = scalar_mult_batch(group, dh_publics, self.blinding_secret)
+        # The layer removal is batched the same way: the per-entry shared
+        # elements are one many-points-one-scalar pass over the mixing
+        # secret, and the authenticated opens run as one keystream batch.
+        # Per-entry results are identical to decrypt_outer_layer.
+        shared_elements = scalar_mult_batch(group, dh_publics, self.mixing_secret)
+        layer_keys = [outer_layer_key(group, shared) for shared in shared_elements]
+        opened = adec_batch(
+            layer_keys, round_number, [entry.ciphertext for entry in entries]
         )
         processed: List[BatchEntry] = []
         failed: List[int] = []
-        for index, entry in enumerate(entries):
-            ok, next_ciphertext = decrypt_outer_layer(
-                group, self.mixing_secret, round_number, entry.dh_public, entry.ciphertext
-            )
+        for index, (ok, next_ciphertext) in enumerate(opened):
             if not ok:
                 failed.append(index)
                 next_ciphertext = b""
@@ -640,12 +650,22 @@ class MixChain:
 
         mailbox_messages: List[MailboxMessage] = []
         invalid_inner = 0
+        envelopes: List[Optional[InnerEnvelope]] = []
         for entry in entries:
             try:
-                envelope = InnerEnvelope.from_bytes(entry.ciphertext)
-                ok, plaintext = decrypt_inner(group, inner_secrets, round_number, envelope)
+                envelopes.append(InnerEnvelope.from_bytes(entry.ciphertext))
             except Exception:
-                ok, plaintext = False, None
+                envelopes.append(None)
+        parseable = [envelope for envelope in envelopes if envelope is not None]
+        # Whole-batch final decryption: one many-points-one-scalar pass over
+        # the aggregate inner secret plus one batched AEAD open, per-entry
+        # results identical to decrypt_inner.
+        opened = iter(decrypt_inner_batch(group, inner_secrets, round_number, parseable))
+        for envelope in envelopes:
+            if envelope is None:
+                invalid_inner += 1
+                continue
+            ok, plaintext = next(opened)
             if not ok or plaintext is None:
                 invalid_inner += 1
                 continue

@@ -49,7 +49,7 @@ KIND_OFFLINE_NOTICE = 1
 KIND_LOOPBACK = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageBody:
     """Application payload plus a kind tag, padded to the fixed payload size."""
 
@@ -94,7 +94,7 @@ def mailbox_message_size(payload_size: int = PAYLOAD_SIZE) -> int:
     return GROUP_ELEMENT_SIZE + payload_size + AEAD_TAG_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MailboxMessage:
     """``(pk_u, AEnc(s, ρ, body))`` — the plaintext recovered by the last server."""
 
@@ -130,7 +130,7 @@ class MailboxMessage:
         return len(self.recipient) + len(self.sealed_body)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientSubmission:
     """A user's per-chain submission in the AHS design (§6.2).
 
@@ -196,7 +196,7 @@ class ClientSubmission:
         return len(self.to_bytes())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchEntry:
     """The ``(X_i^j, c_i^j)`` pair passed from server ``i`` to server ``i+1``."""
 

@@ -1,0 +1,14 @@
+"""The vectorized user-population layer (DESIGN.md §7).
+
+A :class:`UserPopulation` owns every honest user of a deployment as
+column-oriented batches — names, chain assignments, per-chain loopback keys —
+and exposes whole-chain build and fetch operations so the engine's prepare
+and fetch stages run per *chain* instead of per *user*.  The per-user
+:class:`~repro.client.user.User` API remains the reference semantics; the
+population produces bit-identical outputs (enforced by the engine parity
+suite) while feeding the batched crypto fast paths with whole-chain inputs.
+"""
+
+from repro.population.population import UserPopulation
+
+__all__ = ["UserPopulation"]

@@ -1,0 +1,278 @@
+"""The :class:`UserPopulation`: all honest users as column-oriented batches.
+
+The per-user object path walks one :class:`~repro.client.user.User` at a
+time: each submission seals, onion-encrypts, and proves individually, and
+each mailbox message is trial-decrypted one AEAD call at a time.  That per
+user Python overhead — not the protocol — is what capped practical rounds
+at a few hundred users.  The population keeps the *state* on the ``User``
+objects (conversations, keys, RNG streams stay the reference semantics) but
+executes the per-round work column-wise:
+
+* **build** — a cheap scalar-drawing pass walks users in deployment order,
+  drawing each user's randomness from *her own* RNG in exactly the order
+  the object path would (``y``, ``x``, ``k`` per assigned chain slot; round
+  submissions before banked covers).  The expensive crypto then runs per
+  chain over the collected columns (:mod:`repro.population.batch_build`).
+  Splitting the phases is what makes the batch bit-identical to the object
+  path: randomness order is preserved per user, and everything after the
+  draws is deterministic.
+* **fetch** — mailbox decryption runs as a trial-decryption *cascade*: every
+  (user, message) pair tries its first candidate key in one batched AEAD
+  pass, survivors try their second, and so on.  Each message authenticates
+  under exactly one key, so cascade order cannot change any classification.
+
+Chain assignments are derived from public keys alone, so the columns stay
+valid across chain re-formation (:meth:`Deployment.reform_chain
+<repro.coordinator.network.Deployment.reform_chain>` changes key views,
+which are per-round inputs, never the assignment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.client.chain_selection import chains_for_user, intersection_chain
+from repro.client.user import ReceivedMessage, User
+from repro.crypto.aead import adec_batch
+from repro.crypto.kdf import loopback_key
+from repro.errors import ConfigurationError
+from repro.mixnet.messages import ClientSubmission, MailboxMessage, MessageBody
+from repro.population.batch_build import PendingEntry, build_chain_submissions
+
+__all__ = ["UserPopulation"]
+
+#: Sentinel chain label for the conversation-key trial of the fetch cascade.
+_CONVERSATION_TRIAL = -1
+
+
+class UserPopulation:
+    """Columnar views over a deployment's honest users."""
+
+    def __init__(self, group, users: Sequence[User], num_chains: int) -> None:
+        self.group = group
+        self.num_chains = num_chains
+        self.users: List[User] = list(users)
+        self._by_name: Dict[str, User] = {user.name: user for user in self.users}
+        #: name → ordered physical chain ids (length ℓ, possibly repeating).
+        self.chain_assignments: Dict[str, Tuple[int, ...]] = {
+            user.name: tuple(chains_for_user(user.public_bytes, num_chains))
+            for user in self.users
+        }
+        #: chain id → sender names in deployment order (with multiplicity):
+        #: the canonical order of every per-chain batch.
+        self.chain_rosters: Dict[int, List[str]] = {}
+        for user in self.users:
+            for chain_id in self.chain_assignments[user.name]:
+                self.chain_rosters.setdefault(chain_id, []).append(user.name)
+        #: Lazily derived per-(user, chain) loopback keys — identity secrets
+        #: never change, so these are computed once per population.
+        self._loopback_keys: Dict[Tuple[str, int], bytes] = {}
+        #: Per-user loopback trial order for the fetch cascade: the same
+        #: ``set(assigned_chains)`` iteration order the object path uses.
+        self._trial_chains: Dict[str, Tuple[int, ...]] = {
+            name: tuple(set(assignment))
+            for name, assignment in self.chain_assignments.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    # -- membership -----------------------------------------------------------
+
+    def owns(self, user: User) -> bool:
+        """True when ``user`` is exactly the population's object for its name.
+
+        Adversarial harnesses may swap a wrapped ``User`` into
+        ``deployment.users``; such wrappers fall back to the per-user path so
+        their overridden behaviour is honoured.
+        """
+        return self._by_name.get(user.name) is user
+
+    def user(self, name: str) -> User:
+        if name not in self._by_name:
+            raise ConfigurationError(f"unknown user {name!r}")
+        return self._by_name[name]
+
+    def _loopback_key(self, user: User, chain_id: int) -> bytes:
+        cache_key = (user.name, chain_id)
+        key = self._loopback_keys.get(cache_key)
+        if key is None:
+            key = loopback_key(user.keypair.identity_secret_bytes(), chain_id)
+            self._loopback_keys[cache_key] = key
+        return key
+
+    # -- batched submission building -------------------------------------------
+
+    def build_round_submissions_batch(
+        self,
+        round_number: int,
+        chain_keys: Dict[int, object],
+        users: Sequence[User],
+        payloads: Optional[Dict[str, bytes]] = None,
+        offline_notice: bool = False,
+        cover: bool = False,
+    ) -> Dict[int, List[ClientSubmission]]:
+        """Build every given user's ℓ submissions, batched per chain.
+
+        ``users`` must be in deployment order; the returned per-chain lists
+        are in the canonical batch order (deployment order, then each user's
+        chain-slot order) — the order ``finalize_collect`` assembles.
+        """
+        group = self.group
+        payloads = payloads or {}
+        buckets: Dict[int, List[PendingEntry]] = {}
+        for user in users:
+            assignment = self.chain_assignments.get(user.name)
+            if assignment is None:
+                raise ConfigurationError(f"user {user.name!r} is not in the population")
+            conversation_chain_id = None
+            if user.in_conversation():
+                conversation_chain_id = intersection_chain(
+                    user.public_bytes,
+                    user.conversation.partner_public_bytes,
+                    self.num_chains,
+                )
+            conversation_sent = False
+            payload = payloads.get(user.name)
+            for chain_id in assignment:
+                if chain_id not in chain_keys:
+                    raise ConfigurationError(f"missing chain keys for chain {chain_id}")
+                if (
+                    conversation_chain_id is not None
+                    and chain_id == conversation_chain_id
+                    and not conversation_sent
+                ):
+                    body = (
+                        MessageBody.offline_notice()
+                        if offline_notice
+                        else MessageBody.data(payload or b"")
+                    )
+                    seal_key = user.conversation.key_to_partner()
+                    recipient = user.conversation.partner_public_bytes
+                    conversation_sent = True
+                else:
+                    body = MessageBody.loopback()
+                    seal_key = self._loopback_key(user, chain_id)
+                    recipient = user.public_bytes
+                # The user's own RNG, in the object path's draw order:
+                # inner ephemeral, outer ephemeral, proof nonce — per slot.
+                rng = user._rng
+                buckets.setdefault(chain_id, []).append(
+                    PendingEntry(
+                        sender=user.name,
+                        seal_key=seal_key,
+                        recipient=recipient,
+                        body_plaintext=body.encode(),
+                        inner_scalar=group.random_scalar(rng),
+                        outer_scalar=group.random_scalar(rng),
+                        nonce_scalar=group.random_scalar(rng),
+                    )
+                )
+        return {
+            chain_id: build_chain_submissions(
+                group, chain_keys[chain_id], round_number, entries, cover=cover
+            )
+            for chain_id, entries in sorted(buckets.items())
+        }
+
+    def build_cover_submissions_batch(
+        self,
+        next_round_number: int,
+        chain_keys: Dict[int, object],
+        users: Sequence[User],
+    ) -> Dict[int, List[ClientSubmission]]:
+        """Next round's banked covers (§5.3.3), batched per chain."""
+        return self.build_round_submissions_batch(
+            next_round_number,
+            chain_keys,
+            users,
+            payloads=None,
+            offline_notice=True,
+            cover=True,
+        )
+
+    # -- batched mailbox decryption ---------------------------------------------
+
+    def decrypt_mailboxes_batch(
+        self,
+        round_number: int,
+        users: Sequence[User],
+        inboxes: Sequence[Sequence[MailboxMessage]],
+        num_chains: int,
+    ) -> Dict[str, List[ReceivedMessage]]:
+        """Decrypt and classify every user's round download, cascaded.
+
+        Semantics mirror :meth:`User.decrypt_mailbox
+        <repro.client.user.User.decrypt_mailbox>` exactly, including the
+        §5.3.3 side effect of marking a conversation partner offline.
+        """
+        results: Dict[str, List[Optional[ReceivedMessage]]] = {}
+        # (user, message, remaining trial keys); trials carry the chain id
+        # the loopback key belongs to, or the conversation sentinel.
+        pending: List[list] = []
+        for user, inbox in zip(users, inboxes):
+            slots: List[Optional[ReceivedMessage]] = [None] * len(inbox)
+            results[user.name] = slots
+            trial_chains = self._trial_chains.get(user.name)
+            if trial_chains is None:
+                trial_chains = tuple(set(chains_for_user(user.public_bytes, num_chains)))
+            conversation_key = (
+                user.conversation.key_to_me() if user.conversation is not None else None
+            )
+            for message_index, message in enumerate(inbox):
+                if message.recipient != user.public_bytes:
+                    slots[message_index] = ReceivedMessage(
+                        kind=ReceivedMessage.KIND_UNREADABLE, content=b""
+                    )
+                    continue
+                trials: List[Tuple[int, bytes]] = []
+                if conversation_key is not None:
+                    trials.append((_CONVERSATION_TRIAL, conversation_key))
+                trials.extend(
+                    (chain_id, self._loopback_key(user, chain_id))
+                    for chain_id in trial_chains
+                )
+                pending.append([user, message_index, message, trials, 0])
+
+        while pending:
+            opened = adec_batch(
+                [item[3][item[4]][1] for item in pending],
+                round_number,
+                [item[2].sealed_body for item in pending],
+            )
+            still_pending: List[list] = []
+            for item, (ok, plaintext) in zip(pending, opened):
+                user, message_index, _message, trials, position = item
+                if ok:
+                    label = trials[position][0]
+                    body = MessageBody.decode(plaintext)
+                    if label == _CONVERSATION_TRIAL:
+                        if body.is_offline_notice():
+                            user.conversation.mark_partner_offline()
+                            received = ReceivedMessage(
+                                kind=ReceivedMessage.KIND_OFFLINE_NOTICE,
+                                content=b"",
+                                partner_name=user.conversation.partner_name,
+                            )
+                        else:
+                            received = ReceivedMessage(
+                                kind=ReceivedMessage.KIND_CONVERSATION,
+                                content=body.content,
+                                partner_name=user.conversation.partner_name,
+                            )
+                    else:
+                        received = ReceivedMessage(
+                            kind=ReceivedMessage.KIND_LOOPBACK, content=b"", chain_id=label
+                        )
+                    results[user.name][message_index] = received
+                    continue
+                item[4] = position + 1
+                if item[4] < len(trials):
+                    still_pending.append(item)
+                else:
+                    results[user.name][message_index] = ReceivedMessage(
+                        kind=ReceivedMessage.KIND_UNREADABLE, content=b""
+                    )
+            pending = still_pending
+
+        return {name: list(slots) for name, slots in results.items()}

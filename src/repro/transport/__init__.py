@@ -23,10 +23,13 @@ from repro.transport.base import Transport
 from repro.transport.envelope import (
     BATCH,
     COVER_SUBMISSION,
+    COVER_SUBMISSION_BATCH,
     ENVELOPE_KINDS,
     MAILBOX_DELIVERY,
     MAILBOX_FETCH,
+    MAILBOX_FETCH_BATCH,
     SUBMISSION,
+    SUBMISSION_BATCH,
     Envelope,
 )
 from repro.transport.faulty import FaultyTransport, LinkFault
@@ -48,6 +51,9 @@ __all__ = [
     "BATCH",
     "MAILBOX_DELIVERY",
     "MAILBOX_FETCH",
+    "SUBMISSION_BATCH",
+    "COVER_SUBMISSION_BATCH",
+    "MAILBOX_FETCH_BATCH",
     "ENVELOPE_KINDS",
     "make_transport",
 ]

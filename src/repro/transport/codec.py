@@ -133,11 +133,59 @@ def _decode_mailbox_batch(data: bytes) -> List[MailboxMessage]:
     return messages
 
 
+def _encode_submission_batch(submissions: Sequence[ClientSubmission]) -> bytes:
+    """``count || per submission: length-prefixed ClientSubmission bytes``.
+
+    Submissions are length-prefixed even though a deployment's are
+    fixed-size: the frame must stay parseable for adversarial (oddly-sized)
+    submissions, which cross the same link as honest ones.
+    """
+    parts = [len(submissions).to_bytes(4, "big")]
+    parts.extend(_pack_bytes(submission.to_bytes()) for submission in submissions)
+    return b"".join(parts)
+
+
+def _decode_submission_batch(group, data: bytes) -> List[ClientSubmission]:
+    count, offset = _read_int(data, 0, 4)
+    submissions: List[ClientSubmission] = []
+    for _ in range(count):
+        raw, offset = _read_bytes(data, offset)
+        submissions.append(
+            ClientSubmission.from_bytes(raw, element_size=group.element_size)
+        )
+    if offset != len(data):
+        raise DecodingError("trailing bytes after submission batch")
+    return submissions
+
+
+def _encode_fetch_batch(pairs) -> bytes:
+    """``count || per user: length-prefixed owner key + mailbox batch``."""
+    parts = [len(pairs).to_bytes(4, "big")]
+    for owner, messages in pairs:
+        parts.append(_pack_bytes(owner))
+        parts.append(_encode_mailbox_batch(messages))
+    return b"".join(parts)
+
+
+def _decode_fetch_batch(data: bytes) -> List[tuple]:
+    count, offset = _read_int(data, 0, 4)
+    pairs: List[tuple] = []
+    for _ in range(count):
+        owner, offset = _read_bytes(data, offset)
+        messages, offset = _read_mailbox_batch(data, offset)
+        pairs.append((owner, messages))
+    if offset != len(data):
+        raise DecodingError("trailing bytes after fetch batch")
+    return pairs
+
+
 def encode_payload(group, envelope: Envelope) -> bytes:
     """Serialise an envelope's payload to its real wire encoding."""
     kind = envelope.kind
     if kind in (ev.SUBMISSION, ev.COVER_SUBMISSION):
         return envelope.payload.to_bytes()
+    if kind in (ev.SUBMISSION_BATCH, ev.COVER_SUBMISSION_BATCH):
+        return _encode_submission_batch(envelope.payload)
     if kind == ev.BATCH:
         entries: Sequence[BatchEntry] = envelope.payload
         parts = [len(entries).to_bytes(4, "big")]
@@ -145,6 +193,8 @@ def encode_payload(group, envelope: Envelope) -> bytes:
         return b"".join(parts)
     if kind in (ev.MAILBOX_DELIVERY, ev.MAILBOX_FETCH):
         return _encode_mailbox_batch(envelope.payload)
+    if kind == ev.MAILBOX_FETCH_BATCH:
+        return _encode_fetch_batch(envelope.payload)
     raise UnsupportedPayload(f"no wire encoding for envelope kind {kind!r}")
 
 
@@ -152,6 +202,8 @@ def decode_payload(group, kind: str, data: bytes) -> object:
     """Parse wire bytes back into the payload the destination consumes."""
     if kind in (ev.SUBMISSION, ev.COVER_SUBMISSION):
         return ClientSubmission.from_bytes(data, element_size=group.element_size)
+    if kind in (ev.SUBMISSION_BATCH, ev.COVER_SUBMISSION_BATCH):
+        return _decode_submission_batch(group, data)
     if kind == ev.BATCH:
         if len(data) < 4:
             raise DecodingError("truncated batch header")
@@ -166,6 +218,8 @@ def decode_payload(group, kind: str, data: bytes) -> object:
         return entries
     if kind in (ev.MAILBOX_DELIVERY, ev.MAILBOX_FETCH):
         return _decode_mailbox_batch(data)
+    if kind == ev.MAILBOX_FETCH_BATCH:
+        return _decode_fetch_batch(data)
     raise UnsupportedPayload(f"no wire decoding for envelope kind {kind!r}")
 
 

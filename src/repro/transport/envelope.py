@@ -3,7 +3,7 @@
 An :class:`Envelope` names the logical link it crosses (``source`` →
 ``destination``, both node names from the deployment's Figure 1 topology),
 the protocol flow it belongs to (``kind``), and carries the typed payload.
-Four kinds cover every cross-node interaction of the system:
+These kinds cover every cross-node interaction of the system:
 
 * ``SUBMISSION`` / ``COVER_SUBMISSION`` — a user's
   :class:`~repro.mixnet.messages.ClientSubmission` to the entry server of
@@ -16,6 +16,11 @@ Four kinds cover every cross-node interaction of the system:
   :class:`~repro.mixnet.messages.MailboxMessage` batch the last server of a
   chain sends to the mailbox servers.
 * ``MAILBOX_FETCH`` — a user's mailbox download for the round.
+* ``SUBMISSION_BATCH`` / ``COVER_SUBMISSION_BATCH`` — one chain's whole
+  submission batch framed as a single message on the (population →
+  entry-server) link; the population layer's upload unit (DESIGN.md §7).
+* ``MAILBOX_FETCH_BATCH`` — one mailbox shard's round downloads for many
+  users, framed as ``(owner, messages)`` pairs.
 
 Payloads stay typed objects in the envelope; it is the *transport* that
 decides whether crossing the link serialises them (see
@@ -40,8 +45,12 @@ __all__ = [
     "BATCH",
     "MAILBOX_DELIVERY",
     "MAILBOX_FETCH",
+    "SUBMISSION_BATCH",
+    "COVER_SUBMISSION_BATCH",
+    "MAILBOX_FETCH_BATCH",
     "ENVELOPE_KINDS",
     "submission_envelope",
+    "submission_batch_envelope",
 ]
 
 #: A user's per-chain submission to the chain's entry server.
@@ -54,11 +63,30 @@ BATCH = "batch"
 MAILBOX_DELIVERY = "mailbox-delivery"
 #: A user's mailbox download, mailbox server → user.
 MAILBOX_FETCH = "mailbox-fetch"
+#: A whole chain's client submissions framed as one message on the
+#: (user-population → entry-server) link — the population layer's upload
+#: unit; the payload is the ordered submission list.
+SUBMISSION_BATCH = "submission-batch"
+#: The banked-cover counterpart of ``SUBMISSION_BATCH`` (§5.3.3).
+COVER_SUBMISSION_BATCH = "cover-submission-batch"
+#: One mailbox shard's round downloads for many users framed as one
+#: message; the payload is an ordered list of ``(owner public key,
+#: messages)`` pairs.
+MAILBOX_FETCH_BATCH = "mailbox-fetch-batch"
 
-ENVELOPE_KINDS = (SUBMISSION, COVER_SUBMISSION, BATCH, MAILBOX_DELIVERY, MAILBOX_FETCH)
+ENVELOPE_KINDS = (
+    SUBMISSION,
+    COVER_SUBMISSION,
+    BATCH,
+    MAILBOX_DELIVERY,
+    MAILBOX_FETCH,
+    SUBMISSION_BATCH,
+    COVER_SUBMISSION_BATCH,
+    MAILBOX_FETCH_BATCH,
+)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """One message crossing one logical link of the deployment."""
 
@@ -96,4 +124,31 @@ def submission_envelope(
         round_number=upload_round,
         payload=submission,
         chain_id=submission.chain_id,
+    )
+
+
+def submission_batch_envelope(
+    chain_id: int,
+    submissions,
+    entry_servers: Dict[int, str],
+    upload_round: int,
+    cover: bool = False,
+) -> Envelope:
+    """Frame one chain's whole submission batch for its entry server.
+
+    The population layer's upload unit: one framed message per
+    (chain, entry-server) link and round instead of one per user.  As with
+    :func:`submission_envelope`, ``upload_round`` is the round the bytes
+    cross the uplink in — for banked covers that is one round before the
+    round the contents were built for (§5.3.3).
+    """
+    if chain_id not in entry_servers:
+        raise ConfigurationError(f"no entry server for chain {chain_id}")
+    return Envelope(
+        kind=COVER_SUBMISSION_BATCH if cover else SUBMISSION_BATCH,
+        source="user-population",
+        destination=entry_servers[chain_id],
+        round_number=upload_round,
+        payload=list(submissions),
+        chain_id=chain_id,
     )

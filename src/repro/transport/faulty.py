@@ -68,7 +68,17 @@ REORDER = "reorder"
 LINK_BEHAVIOURS = (DROP, DUPLICATE, DELAY, REORDER)
 
 #: Envelope kinds whose payload is a list (eligible for duplicate/reorder).
-_LIST_KINDS = (ev.BATCH, ev.MAILBOX_DELIVERY, ev.MAILBOX_FETCH)
+#: The population layer's batch frames qualify too: dropping one models the
+#: whole framed message being lost, and the engine's sender-keyed scatter
+#: tolerates duplicated or reordered batch elements.
+_LIST_KINDS = (
+    ev.BATCH,
+    ev.MAILBOX_DELIVERY,
+    ev.MAILBOX_FETCH,
+    ev.SUBMISSION_BATCH,
+    ev.COVER_SUBMISSION_BATCH,
+    ev.MAILBOX_FETCH_BATCH,
+)
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ from repro.transport import envelope as ev
 __all__ = ["LinkRecord", "TrafficLedger"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkRecord:
     """One envelope's crossing of one link, as measured on the wire."""
 
@@ -152,6 +152,12 @@ class TrafficLedger:
         chains run in parallel, so the slowest chain gates delivery), the
         recovered messages reach the mailbox servers, and every user fetches
         (parallel — slowest fetch gates the end).
+
+        On a batched deployment the same legs are framed per chain
+        (``SUBMISSION_BATCH``) and per shard (``MAILBOX_FETCH_BATCH``);
+        frames cross their links in parallel, so the slowest frame gates
+        each leg.  Banked covers stay off the critical path either way —
+        they are uploads *for the next round*.
         """
         submission_max = 0.0
         fetch_max = 0.0
@@ -160,9 +166,9 @@ class TrafficLedger:
         for record in self._records:
             if record.round_number != round_number:
                 continue
-            if record.kind == ev.SUBMISSION:
+            if record.kind in (ev.SUBMISSION, ev.SUBMISSION_BATCH):
                 submission_max = max(submission_max, record.seconds)
-            elif record.kind == ev.MAILBOX_FETCH:
+            elif record.kind in (ev.MAILBOX_FETCH, ev.MAILBOX_FETCH_BATCH):
                 fetch_max = max(fetch_max, record.seconds)
             elif record.kind == ev.BATCH:
                 chain_path[record.chain_id] = chain_path.get(record.chain_id, 0.0) + record.seconds

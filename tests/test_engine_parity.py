@@ -36,7 +36,7 @@ BACKENDS = ("serial", "parallel", "multiprocess")
 TRANSPORTS = ("inproc", "instrumented")
 
 
-def build(backend="serial", seed=42, transport="inproc", **kwargs):
+def build(backend="serial", seed=42, transport="inproc", population="object", **kwargs):
     # Pin the worker count so the multiprocess cells really fork (and
     # wire-encode their results) even on single-core CI runners, where the
     # cpu-count default would fall back to inline execution.
@@ -50,6 +50,7 @@ def build(backend="serial", seed=42, transport="inproc", **kwargs):
         group_kind="modp",
         execution_backend=backend,
         transport=transport,
+        population=population,
         **kwargs,
     )
     return Deployment.create(config)
@@ -114,6 +115,91 @@ class TestTransportBackendMatrix:
             totals.append([ledger.bytes_by_kind(r) for r in range(1, 7)])
             deployment.close()
         assert totals[0] == totals[1] == totals[2]
+
+
+class TestPopulationParity:
+    """The batched population path is bit-identical to the per-user path
+    across the full {backend} × {transport} × {scheduler} matrix (ISSUE 4).
+
+    For the instrumented cells every delivered submission crossed the wire
+    inside a framed ``SUBMISSION_BATCH`` / ``MAILBOX_FETCH_BATCH`` envelope
+    and was re-decoded from those bytes, so equality here also proves the
+    batch codecs lossless.
+    """
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        deployment = build("serial", transport="inproc", population="object")
+        return fingerprints(deployment.run_rounds(conversation_script(deployment)))
+
+    @pytest.mark.parametrize("staggered", (False, True))
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_population_matrix_cell(self, reference, backend, transport, staggered):
+        deployment = build(backend, transport=transport, population="batched")
+        actual = fingerprints(
+            deployment.run_rounds(conversation_script(deployment), staggered=staggered)
+        )
+        deployment.close()
+        assert actual == reference
+
+    def test_population_without_cover_messages(self, reference):
+        object_path = build(use_cover_messages=False)
+        batched = build(population="batched", use_cover_messages=False)
+        expected = fingerprints(object_path.run_rounds(conversation_script(object_path)))
+        actual = fingerprints(batched.run_rounds(conversation_script(batched)))
+        assert actual == expected
+
+    def test_population_with_extra_submissions(self):
+        """Injected adversarial submissions ride the per-submission path
+        unchanged while honest traffic is batched."""
+
+        def run(population):
+            deployment = build(seed=9, population=population)
+            chain = deployment.chains[0]
+            deployment.engine.announce(1)
+            forged = make_submission(
+                deployment.group,
+                chain,
+                1,
+                "mallory",
+                deployment.users[0].public_bytes,
+                b"\x07" * 32,
+            )
+            bad = type(forged)(
+                chain_id=forged.chain_id,
+                sender="mallory",
+                dh_public=forged.dh_public,
+                ciphertext=forged.ciphertext,
+                proof=type(forged.proof)(commitment=forged.proof.commitment, response=1),
+            )
+            reports = deployment.run_rounds(
+                [deployment.round_spec(extra_submissions=[bad]), deployment.round_spec()]
+            )
+            deployment.close()
+            return reports
+
+        expected = run("object")
+        actual = run("batched")
+        assert expected[0].rejected_senders == ["mallory"]
+        assert fingerprints(actual) == fingerprints(expected)
+
+    def test_population_ledger_uses_batch_frames(self):
+        from repro.transport import MAILBOX_FETCH_BATCH, SUBMISSION_BATCH
+
+        deployment = build(population="batched", transport="instrumented")
+        deployment.run_round()
+        kinds = set(deployment.traffic_ledger.bytes_by_kind(1))
+        assert SUBMISSION_BATCH in kinds
+        assert MAILBOX_FETCH_BATCH in kinds
+        # One framed upload per chain, not one per (user, chain).
+        submission_records = [
+            record
+            for record in deployment.traffic_ledger.records
+            if record.kind == SUBMISSION_BATCH
+        ]
+        assert len(submission_records) == deployment.num_chains
+        deployment.close()
 
 
 class TestBackendParity:

@@ -55,8 +55,8 @@ def build(backend="serial", transport="inproc", seed=42, **kwargs):
     return Deployment.create(config)
 
 
-def run_scenario(plan, backend="serial", staggered=False, transport="inproc"):
-    deployment = build(backend, transport)
+def run_scenario(plan, backend="serial", staggered=False, transport="inproc", **kwargs):
+    deployment = build(backend, transport, **kwargs)
     report = ScenarioRunner(deployment, plan, staggered=staggered).run()
     deployment.close()
     return report

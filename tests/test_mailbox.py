@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import MailboxError
-from repro.mailbox import Mailbox, MailboxHub, MailboxServer
+from repro.mailbox import Mailbox, MailboxHub, MailboxServer, ShardedMailboxHub
 from repro.mixnet.messages import MailboxMessage, MessageBody
 
 OWNER = b"\x01" * 32
@@ -102,3 +102,100 @@ class TestMailboxHub:
     def test_invalid_server_count(self):
         with pytest.raises(MailboxError):
             MailboxHub(num_servers=0)
+
+
+class TestConsistentHashing:
+    """The consistent-hash shard map and the batched delivery/fetch flows."""
+
+    @staticmethod
+    def owners(count):
+        return [index.to_bytes(2, "big") * 16 for index in range(1, count + 1)]
+
+    def test_hub_alias_is_sharded_hub(self):
+        assert MailboxHub is ShardedMailboxHub
+
+    def test_mapping_is_deterministic_across_instances(self):
+        first = ShardedMailboxHub(num_servers=5)
+        second = ShardedMailboxHub(num_servers=5)
+        for owner in self.owners(50):
+            assert first.server_name_for(owner) == second.server_name_for(owner)
+
+    def test_owner_cache_matches_ring_walk(self):
+        hub = ShardedMailboxHub(num_servers=4)
+        for owner in self.owners(40):
+            before = hub.server_name_for(owner)  # ring walk (uncached)
+            hub.create_mailbox(owner)            # fills the cache
+            assert hub.server_name_for(owner) == before
+
+    def test_adding_a_shard_moves_few_owners(self):
+        """The consistent-hashing property: growing n → n+1 shards remaps
+        roughly 1/(n+1) of the owners, not almost all of them."""
+        owners = self.owners(400)
+        small = ShardedMailboxHub(num_servers=4)
+        grown = ShardedMailboxHub(num_servers=5)
+        moved = sum(
+            small.server_name_for(owner) != grown.server_name_for(owner)
+            for owner in owners
+        )
+        # Expectation is 1/5 of 400 = 80; allow generous slack, but far
+        # below the near-total reshuffle of modulo hashing.
+        assert moved < len(owners) // 2
+
+    def test_shard_loads_are_roughly_balanced(self):
+        hub = ShardedMailboxHub(num_servers=4)
+        for owner in self.owners(400):
+            hub.create_mailbox(owner)
+        loads = sorted(len(server.owners()) for server in hub.servers)
+        assert loads[0] > 0
+        assert loads[-1] < 3 * (400 // 4)
+
+    def test_batched_delivery_matches_sequential_puts(self):
+        owners = self.owners(12)
+        batched = ShardedMailboxHub(num_servers=3)
+        sequential = ShardedMailboxHub(num_servers=3)
+        for owner in owners:
+            batched.create_mailbox(owner)
+            sequential.create_mailbox(owner)
+        messages = [sealed(recipient=owner) for owner in owners for _ in range(2)]
+        messages.append(sealed(recipient=b"\xfe" * 32))  # unknown recipient
+        dropped = batched.deliver_batch(1, messages)
+        sequential_dropped = 0
+        for message in messages:
+            try:
+                sequential.put(1, message)
+            except MailboxError:
+                sequential_dropped += 1
+        assert dropped == sequential_dropped == 1
+        for owner in owners:
+            assert batched.get(1, owner) == sequential.get(1, owner)
+
+    def test_fetch_batch_matches_gets(self):
+        hub = ShardedMailboxHub(num_servers=2)
+        owners = self.owners(6)
+        for owner in owners:
+            hub.create_mailbox(owner)
+        hub.deliver_batch(2, [sealed(recipient=owners[0], round_number=2)])
+        pairs = hub.fetch_batch(2, owners)
+        assert [owner for owner, _ in pairs] == owners
+        for owner, messages in pairs:
+            assert messages == hub.get(2, owner)
+
+    def test_shard_owners_partitions_and_preserves_order(self):
+        hub = ShardedMailboxHub(num_servers=3)
+        owners = self.owners(30)
+        for owner in owners:
+            hub.create_mailbox(owner)
+        groups = hub.shard_owners(owners)
+        flattened = [owner for _, group in groups for owner in group]
+        assert sorted(flattened) == sorted(owners)
+        for server, group in groups:
+            for owner in group:
+                assert hub.server_name_for(owner) == server.name
+            assert group == [o for o in owners if hub.server_name_for(o) == server.name]
+
+    def test_put_batch_rejects_foreign_recipient(self):
+        mailbox = Mailbox(owner=OWNER)
+        with pytest.raises(MailboxError):
+            mailbox.put_batch(1, [sealed(), sealed(recipient=OTHER)])
+        mailbox.put_batch(1, [sealed(), sealed()])
+        assert mailbox.message_count(1) == 2

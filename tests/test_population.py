@@ -1,0 +1,359 @@
+"""The vectorized user-population layer (DESIGN.md §7).
+
+Three properties are enforced here, below the end-to-end engine parity
+matrix of ``test_engine_parity.py``:
+
+1. the batched crypto primitives (ChaCha20 block batches, AEAD batches,
+   fixed-point scalar batches) are bit-identical to their scalar
+   references, under hypothesis-generated inputs;
+2. the population's whole-chain build produces the *same submission
+   objects* (field for field) as the per-user path given identical RNG
+   state, and its fetch cascade classifies mailboxes identically;
+3. the new batch wire codecs round-trip losslessly and reject malformed
+   frames with :class:`DecodingError` (framing fuzz).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.crypto.aead import adec, adec_batch, aenc, aenc_batch
+from repro.crypto.chacha20 import (
+    chacha20_block,
+    chacha20_blocks_batch,
+    chacha20_keystream,
+    chacha20_keystreams,
+)
+from repro.crypto.group import ModPGroup, fixed_point_mult_batch
+from repro.crypto.nizk import prove_dlog
+from repro.errors import DecodingError
+from repro.mixnet.messages import ClientSubmission, MailboxMessage, MessageBody
+from repro.transport import (
+    COVER_SUBMISSION_BATCH,
+    MAILBOX_FETCH_BATCH,
+    SUBMISSION_BATCH,
+    Envelope,
+)
+from repro.transport.codec import decode_payload, encode_payload
+from repro.transport.envelope import submission_batch_envelope
+
+MODP = ModPGroup(bits=64)
+
+
+def deployment_pair(**kwargs):
+    """Two identically-seeded deployments: per-user reference and batched."""
+    base = dict(
+        num_servers=4, num_users=6, num_chains=3, chain_length=2,
+        seed=77, group_kind="modp",
+    )
+    base.update(kwargs)
+    reference = Deployment.create(DeploymentConfig(**base, population="object"))
+    batched = Deployment.create(DeploymentConfig(**base, population="batched"))
+    return reference, batched
+
+
+# ---------------------------------------------------------------------------
+# 1. batched crypto primitives == scalar references
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedPrimitives:
+    @given(st.lists(st.tuples(st.binary(min_size=32, max_size=32),
+                              st.binary(min_size=12, max_size=12),
+                              st.integers(min_value=0, max_value=2**32 - 1)),
+                    min_size=0, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_block_batch_matches_scalar(self, triples):
+        keys = [t[0] for t in triples]
+        nonces = [t[1] for t in triples]
+        counters = [t[2] for t in triples]
+        flat = chacha20_blocks_batch(keys, nonces, counters)
+        expected = b"".join(
+            chacha20_block(key, counter, nonce)
+            for key, nonce, counter in triples
+        )
+        assert flat == expected
+
+    @given(st.lists(st.tuples(st.binary(min_size=32, max_size=32),
+                              st.binary(min_size=12, max_size=12),
+                              st.integers(min_value=0, max_value=300)),
+                    min_size=0, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_keystreams_match_scalar(self, triples):
+        keys = [t[0] for t in triples]
+        nonces = [t[1] for t in triples]
+        lengths = [t[2] for t in triples]
+        streams = chacha20_keystreams(keys, nonces, lengths, initial_counter=1)
+        for key, nonce, length, stream in zip(keys, nonces, lengths, streams):
+            assert stream == chacha20_keystream(key, nonce, length, 1)
+
+    @given(st.lists(st.tuples(st.binary(min_size=32, max_size=32),
+                              st.binary(min_size=0, max_size=400)),
+                    min_size=0, max_size=30),
+           st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=25, deadline=None)
+    def test_aead_batches_match_scalar(self, pairs, round_number):
+        keys = [p[0] for p in pairs]
+        plaintexts = [p[1] for p in pairs]
+        sealed = aenc_batch(keys, round_number, plaintexts)
+        assert sealed == [aenc(k, round_number, m) for k, m in zip(keys, plaintexts)]
+        # Tamper with a few ciphertexts so both failure and success paths run.
+        datas = [
+            data if index % 3 else (b"\x00" * len(data))
+            for index, data in enumerate(sealed)
+        ]
+        opened = adec_batch(keys, round_number, datas)
+        assert opened == [adec(k, round_number, d) for k, d in zip(keys, datas)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64), min_size=0, max_size=20),
+           st.integers(min_value=2, max_value=2**60))
+    @settings(max_examples=25, deadline=None)
+    def test_fixed_point_batch_matches_scalar_modp(self, scalars, element_seed):
+        point = MODP.scalar_mult(MODP.base(), element_seed)
+        assert fixed_point_mult_batch(MODP, point, scalars) == [
+            MODP.scalar_mult(point, scalar) for scalar in scalars
+        ]
+
+    def test_fixed_point_batch_matches_scalar_ed25519(self, ed_group):
+        group = ed_group
+        point = group.scalar_mult(group.base(), 987654321)
+        scalars = [0, 1, 5, group.order - 1, 2**200 + 17]
+        assert fixed_point_mult_batch(group, point, scalars) == [
+            group.scalar_mult(point, scalar) for scalar in scalars
+        ]
+        assert fixed_point_mult_batch(group, group.identity(), scalars) == [
+            group.scalar_mult(group.identity(), scalar) for scalar in scalars
+        ]
+        assert fixed_point_mult_batch(group, group.base(), scalars) == [
+            group.scalar_mult(group.base(), scalar) for scalar in scalars
+        ]
+
+
+# ---------------------------------------------------------------------------
+# 2. population build/fetch == per-user path at the object level
+# ---------------------------------------------------------------------------
+
+
+class TestPopulationSemantics:
+    def test_batched_build_produces_identical_submissions(self):
+        reference, batched = deployment_pair()
+        a, b = reference.users[0].name, reference.users[1].name
+        reference.start_conversation(a, b)
+        batched.start_conversation(a, b)
+        spec = {"payloads": {a: b"hello"}}
+        ref_report = reference.run_round(**spec)
+        bat_report = batched.run_round(**spec)
+        assert bat_report.canonical_bytes() == ref_report.canonical_bytes()
+        for chain_ref, chain_bat in zip(reference.chains, batched.chains):
+            assert (
+                chain_bat.submissions_for_round(1) == chain_ref.submissions_for_round(1)
+            )
+
+    def test_population_rosters_cover_every_user_slot(self):
+        _, batched = deployment_pair()
+        population = batched.population
+        total = sum(len(roster) for roster in population.chain_rosters.values())
+        assert total == sum(
+            len(assignment) for assignment in population.chain_assignments.values()
+        )
+        for name, assignment in population.chain_assignments.items():
+            assert len(assignment) == batched.ell()
+            for chain_id in assignment:
+                assert name in population.chain_rosters[chain_id]
+
+    def test_population_does_not_own_foreign_wrappers(self):
+        _, batched = deployment_pair()
+        population = batched.population
+        real = batched.users[0]
+
+        class Wrapper:
+            def __init__(self, inner):
+                self.name = inner.name
+
+        assert population.owns(real)
+        assert not population.owns(Wrapper(real))
+
+    def test_fetch_cascade_matches_per_user_decrypt(self):
+        reference, batched = deployment_pair(seed=123)
+        a, b = reference.users[0].name, reference.users[1].name
+        reference.start_conversation(a, b)
+        batched.start_conversation(a, b)
+        specs = [
+            {"payloads": {a: b"ping", b: b"pong"}},
+            {"payloads": {}, "offline_users": {b}},  # offline notice lands at a
+            {"payloads": {}},
+        ]
+        for spec in specs:
+            ref_report = reference.run_round(**spec)
+            bat_report = batched.run_round(**spec)
+            assert bat_report.delivered == ref_report.delivered
+            assert bat_report.mailbox_counts == ref_report.mailbox_counts
+        # The §5.3.3 side effect happened on both sides.
+        assert reference.user(a).conversation.partner_offline
+        assert batched.user(a).conversation.partner_offline
+
+    def test_link_faults_on_batch_frames(self):
+        """Drop and duplicate faults compose with the batch frames: a
+        dropped frame loses the whole chain's uploads (the engine skips the
+        missing submissions), and a duplicated element re-enters sender-keyed
+        scatter without corrupting other users' lists."""
+        from repro.transport import SUBMISSION_BATCH
+        from repro.transport.faulty import FaultyTransport, LinkFault
+
+        _, batched = deployment_pair(seed=31)
+        victim_chain = 0
+        batched.use_transport(
+            FaultyTransport(
+                batched.transport,
+                [LinkFault(behaviour="drop", kind=SUBMISSION_BATCH, chain_id=victim_chain)],
+            ),
+            close_previous=False,
+        )
+        report = batched.run_round()
+        assert not report.chain_results[victim_chain].mailbox_messages
+        expected = sum(
+            1
+            for user in batched.users
+            for chain_id in batched.population.chain_assignments[user.name]
+            if chain_id != victim_chain
+        )
+        assert report.total_submissions == expected
+
+        _, duplicated = deployment_pair(seed=31)
+        duplicated.use_transport(
+            FaultyTransport(
+                duplicated.transport,
+                [LinkFault(behaviour="duplicate", kind=SUBMISSION_BATCH, chain_id=victim_chain)],
+            ),
+            close_previous=False,
+        )
+        report = duplicated.run_round()
+        baseline = sum(
+            len(assignment)
+            for assignment in duplicated.population.chain_assignments.values()
+        )
+        assert report.total_submissions == baseline + 1
+        assert report.all_chains_delivered()
+
+    def test_recovery_keeps_population_consistent(self):
+        """Chain re-formation never invalidates the columnar views."""
+        from repro.faults.scenarios import tamper_and_recover
+        from tests.test_faults import run_scenario
+
+        object_report = run_scenario(tamper_and_recover(), "serial", False)
+        batched_report = run_scenario(
+            tamper_and_recover(), "serial", False, population="batched"
+        )
+        assert batched_report.canonical_bytes() == object_report.canonical_bytes()
+
+
+# ---------------------------------------------------------------------------
+# 3. batch codec round-trips and framing fuzz
+# ---------------------------------------------------------------------------
+
+
+def make_submission(group, chain_id, sender, ciphertext):
+    secret = group.random_scalar()
+    return ClientSubmission(
+        chain_id=chain_id,
+        sender=sender,
+        dh_public=group.encode(group.base_mult(secret)),
+        ciphertext=ciphertext,
+        proof=prove_dlog(group, group.base(), secret),
+    )
+
+
+def envelope(kind, payload, **kwargs):
+    defaults = dict(source="src", destination="dst", round_number=1)
+    defaults.update(kwargs)
+    return Envelope(kind=kind, payload=payload, **defaults)
+
+
+class TestSubmissionBatchCodec:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10),
+                              st.text(alphabet="abcdefuser-0123456789", min_size=1, max_size=16),
+                              st.binary(min_size=0, max_size=120)),
+                    min_size=0, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip(self, specs):
+        submissions = [
+            make_submission(MODP, chain_id, sender, ciphertext)
+            for chain_id, sender, ciphertext in specs
+        ]
+        for kind in (SUBMISSION_BATCH, COVER_SUBMISSION_BATCH):
+            wire = encode_payload(MODP, envelope(kind, submissions))
+            decoded = decode_payload(MODP, kind, wire)
+            # The cover flag is client-side metadata, not on the wire.
+            assert decoded == [
+                ClientSubmission(
+                    chain_id=s.chain_id, sender=s.sender, dh_public=s.dh_public,
+                    ciphertext=s.ciphertext, proof=s.proof,
+                )
+                for s in submissions
+            ]
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_framing_fuzz_truncation(self, data):
+        submissions = [
+            make_submission(MODP, index, f"user-{index}", b"ct" * index)
+            for index in range(3)
+        ]
+        wire = encode_payload(MODP, envelope(SUBMISSION_BATCH, submissions))
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        mutated = wire[:cut]
+        with pytest.raises(DecodingError):
+            decode_payload(MODP, SUBMISSION_BATCH, mutated)
+
+    def test_trailing_bytes_rejected(self):
+        wire = encode_payload(
+            MODP, envelope(SUBMISSION_BATCH, [make_submission(MODP, 1, "u", b"c")])
+        )
+        with pytest.raises(DecodingError):
+            decode_payload(MODP, SUBMISSION_BATCH, wire + b"\x00")
+
+    def test_envelope_builder_labels_the_link(self):
+        submissions = [make_submission(MODP, 2, "user-1", b"c")]
+        built = submission_batch_envelope(2, submissions, {2: "server-7"}, 9, cover=True)
+        assert built.kind == COVER_SUBMISSION_BATCH
+        assert built.destination == "server-7"
+        assert built.chain_id == 2
+        assert built.round_number == 9
+
+
+class TestFetchBatchCodec:
+    @given(st.lists(st.tuples(st.binary(min_size=32, max_size=32),
+                              st.lists(st.binary(min_size=0, max_size=60), max_size=4)),
+                    min_size=0, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip(self, owner_specs):
+        pairs = [
+            (
+                owner,
+                [
+                    MailboxMessage.seal(owner, b"\x07" * 32, 3, MessageBody.data(content))
+                    for content in contents
+                ],
+            )
+            for owner, contents in owner_specs
+        ]
+        wire = encode_payload(MODP, envelope(MAILBOX_FETCH_BATCH, pairs))
+        assert decode_payload(MODP, MAILBOX_FETCH_BATCH, wire) == pairs
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_framing_fuzz_truncation(self, data):
+        owner = b"\x05" * 32
+        pairs = [
+            (owner, [MailboxMessage.seal(owner, b"\x07" * 32, 1, MessageBody.loopback())])
+        ]
+        wire = encode_payload(MODP, envelope(MAILBOX_FETCH_BATCH, pairs))
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        with pytest.raises(DecodingError):
+            decode_payload(MODP, MAILBOX_FETCH_BATCH, wire[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        wire = encode_payload(MODP, envelope(MAILBOX_FETCH_BATCH, []))
+        with pytest.raises(DecodingError):
+            decode_payload(MODP, MAILBOX_FETCH_BATCH, wire + b"\xff")
