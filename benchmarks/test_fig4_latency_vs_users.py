@@ -51,36 +51,46 @@ def test_fig4_engine_load_scaling(benchmark):
 
     def sweep():
         loads = {}
+        online_phase = {}
         for num_users in (6, 12, 24):
-            deployment = Deployment.create(
-                DeploymentConfig(
-                    num_servers=4,
-                    num_users=num_users,
-                    num_chains=4,
-                    chain_length=2,
-                    seed=4,
-                    group_kind="modp",
-                    execution_backend="parallel",
+            for precompute in (True, False):
+                deployment = Deployment.create(
+                    DeploymentConfig(
+                        num_servers=4,
+                        num_users=num_users,
+                        num_chains=4,
+                        chain_length=2,
+                        seed=4,
+                        group_kind="modp",
+                        execution_backend="parallel",
+                        precompute=precompute,
+                    )
                 )
-            )
-            reports = deployment.run_rounds(
-                [deployment.round_spec(), deployment.round_spec()], staggered=True
-            )
-            deployment.close()
-            assert all(report.all_chains_delivered() for report in reports)
-            per_chain = reports[-1].total_submissions / deployment.num_chains
-            loads[num_users] = per_chain
-            assert per_chain == pytest.approx(
-                messages_per_chain(num_users, deployment.num_chains)
-            )
-        return loads
+                reports = deployment.run_rounds(
+                    [deployment.round_spec(), deployment.round_spec()], staggered=True
+                )
+                deployment.close()
+                assert all(report.all_chains_delivered() for report in reports)
+                per_chain = reports[-1].total_submissions / deployment.num_chains
+                loads[num_users] = per_chain
+                online_phase[(num_users, precompute)] = reports[-1].stage_seconds["mix"]
+                assert per_chain == pytest.approx(
+                    messages_per_chain(num_users, deployment.num_chains)
+                )
+        return loads, online_phase
 
-    loads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    loads, online_phase = benchmark.pedantic(sweep, rounds=1, iterations=1)
     assert loads[24] == pytest.approx(4 * loads[6])
     save_result(
         "fig4_engine_load_scaling",
         "Measured messages/chain on the round engine (4 chains, staggered+parallel): "
-        + ", ".join(f"{users} users -> {load:.1f}" for users, load in loads.items()),
+        + ", ".join(f"{users} users -> {load:.1f}" for users, load in loads.items())
+        + "\nOnline mix phase (precomputed vs online-only): "
+        + ", ".join(
+            f"{users} users -> {online_phase[(users, True)] * 1e3:.0f}/"
+            f"{online_phase[(users, False)] * 1e3:.0f} ms"
+            for users in (6, 12, 24)
+        ),
     )
 
 

@@ -47,35 +47,45 @@ def test_fig5_engine_horizontal_scaling(benchmark):
 
     def sweep():
         loads = {}
+        online_phase = {}
         for num_chains in (2, 4, 8):
-            deployment = Deployment.create(
-                DeploymentConfig(
-                    num_servers=8,
-                    num_users=16,
-                    num_chains=num_chains,
-                    chain_length=2,
-                    seed=5,
-                    group_kind="modp",
-                    execution_backend="parallel",
+            for precompute in (True, False):
+                deployment = Deployment.create(
+                    DeploymentConfig(
+                        num_servers=8,
+                        num_users=16,
+                        num_chains=num_chains,
+                        chain_length=2,
+                        seed=5,
+                        group_kind="modp",
+                        execution_backend="parallel",
+                        precompute=precompute,
+                    )
                 )
-            )
-            reports = deployment.run_rounds(
-                [deployment.round_spec(), deployment.round_spec()], staggered=True
-            )
-            deployment.close()
-            assert all(report.all_chains_delivered() for report in reports)
-            per_chain = reports[-1].total_submissions / deployment.num_chains
-            loads[num_chains] = per_chain
-            assert per_chain == pytest.approx(messages_per_chain(16, num_chains))
-        return loads
+                reports = deployment.run_rounds(
+                    [deployment.round_spec(), deployment.round_spec()], staggered=True
+                )
+                deployment.close()
+                assert all(report.all_chains_delivered() for report in reports)
+                per_chain = reports[-1].total_submissions / deployment.num_chains
+                loads[num_chains] = per_chain
+                online_phase[(num_chains, precompute)] = reports[-1].stage_seconds["mix"]
+                assert per_chain == pytest.approx(messages_per_chain(16, num_chains))
+        return loads, online_phase
 
-    loads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    loads, online_phase = benchmark.pedantic(sweep, rounds=1, iterations=1)
     # Per-chain load falls as chains are added — the horizontal-scaling claim.
     assert loads[2] > loads[4] > loads[8]
     save_result(
         "fig5_engine_horizontal_scaling",
         "Measured messages/chain on the round engine (16 users, staggered+parallel): "
-        + ", ".join(f"{chains} chains -> {load:.1f}" for chains, load in loads.items()),
+        + ", ".join(f"{chains} chains -> {load:.1f}" for chains, load in loads.items())
+        + "\nOnline mix phase (precomputed vs online-only): "
+        + ", ".join(
+            f"{chains} chains -> {online_phase[(chains, True)] * 1e3:.0f}/"
+            f"{online_phase[(chains, False)] * 1e3:.0f} ms"
+            for chains in (2, 4, 8)
+        ),
     )
 
 

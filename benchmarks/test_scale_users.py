@@ -32,6 +32,7 @@ import time
 import pytest
 
 from repro.analysis import render_table
+from repro.client.chain_selection import reset_assignment_caches
 from repro.coordinator.network import Deployment, DeploymentConfig
 from repro.crypto.nizk import SchnorrProof
 from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage
@@ -52,13 +53,17 @@ def peak_rss_bytes() -> int:
     return rss if sys.platform == "darwin" else rss * 1024
 
 
-def run_round_at_scale(num_users: int, population: str = "batched"):
+def run_round_at_scale(num_users: int, population: str = "batched", precompute: bool = True):
     """One full round at ``num_users`` (modp group, 4 chains, covers off).
 
     Covers are disabled so a point measures exactly one round's submissions
     (with covers every round also builds round ``r+1``'s batch, doubling
-    the build work without changing the scaling shape).
+    the build work without changing the scaling shape).  The per-user
+    assignment caches are reset first so every point pays (and therefore
+    measures) its own population's assignment work, and retired epochs do
+    not inflate the next point's RSS.
     """
+    reset_assignment_caches()
     config = DeploymentConfig(
         num_servers=4,
         num_users=num_users,
@@ -68,6 +73,7 @@ def run_round_at_scale(num_users: int, population: str = "batched"):
         group_kind="modp",
         use_cover_messages=False,
         population=population,
+        precompute=precompute,
     )
     deployment = Deployment.create(config)
     started = time.perf_counter()
@@ -78,7 +84,13 @@ def run_round_at_scale(num_users: int, population: str = "batched"):
     per_chain = report.total_submissions / deployment.num_chains
     assert per_chain == pytest.approx(messages_per_chain(num_users, deployment.num_chains))
     deployment.close()
-    return {"users": num_users, "seconds": elapsed, "peak_rss": peak_rss_bytes()}
+    return {
+        "users": num_users,
+        "seconds": elapsed,
+        "peak_rss": peak_rss_bytes(),
+        "online_seconds": report.stage_seconds.get("mix", 0.0),
+        "precompute_seconds": report.stage_seconds.get("precompute", 0.0),
+    }
 
 
 def test_scale_users_sweep(benchmark):
@@ -92,14 +104,16 @@ def test_scale_users_sweep(benchmark):
         [
             f"{point['users']:,}",
             f"{point['seconds']:.1f}",
+            f"{point['online_seconds']:.1f}",
             f"{point['peak_rss'] / 1e6:.0f}",
         ]
         for point in points
     ]
     save_result(
         "scale_users",
-        "Measured round latency vs. users (batched population, modp group, 4 chains)\n"
-        + render_table(["users", "round s", "peak RSS MB"], rows),
+        "Measured round latency vs. users (batched population, modp group, 4 chains;\n"
+        "'online s' is the mix stage with the public-key work precomputed off-path)\n"
+        + render_table(["users", "round s", "online s", "peak RSS MB"], rows),
     )
     # Latency grows roughly linearly in users (the fig4 shape): going 1k→10k
     # must cost well under the 100× of quadratic per-user behaviour.
@@ -170,11 +184,20 @@ def test_slots_removes_instance_dicts():
 
 @pytest.mark.skipif(SCALE not in ("smoke", "full"), reason="set XRD_SCALE=smoke for the 50k round")
 def test_scale_smoke_50k_users():
-    """The CI scale-smoke acceptance point: a 50k-user round completes."""
-    point = run_round_at_scale(50_000)
+    """The CI scale-smoke acceptance point: a 50k-user round completes.
+
+    Runs with the precompute stage enabled (the default), so the smoke job
+    also proves the precompute subsystem holds at 50k users and records the
+    online/precompute phase split at that scale (ISSUE 5).
+    """
+    point = run_round_at_scale(50_000, precompute=True)
+    assert point["precompute_seconds"] > 0.0
+    assert point["online_seconds"] > 0.0
     save_result(
         "scale_users_50k",
-        f"50,000-user round: {point['seconds']:.1f}s, "
+        f"50,000-user round: {point['seconds']:.1f}s "
+        f"(online mix phase {point['online_seconds']:.1f}s, "
+        f"precomputed off-path {point['precompute_seconds']:.1f}s), "
         f"peak RSS {point['peak_rss'] / 1e6:.0f} MB",
     )
 
@@ -186,6 +209,8 @@ def test_scale_full_100k_users():
     point = run_round_at_scale(100_000)
     save_result(
         "scale_users_100k",
-        f"100,000-user round: {point['seconds']:.1f}s, "
+        f"100,000-user round: {point['seconds']:.1f}s "
+        f"(online mix phase {point['online_seconds']:.1f}s, "
+        f"precomputed off-path {point['precompute_seconds']:.1f}s), "
         f"peak RSS {point['peak_rss'] / 1e6:.0f} MB",
     )

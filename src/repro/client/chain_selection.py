@@ -36,6 +36,7 @@ __all__ = [
     "intersection_logical_chain",
     "all_pairs_intersect",
     "expected_chain_load",
+    "reset_assignment_caches",
 ]
 
 
@@ -100,7 +101,20 @@ def chains_for_group(group_index: int, num_chains: int) -> List[int]:
     return [_logical_to_physical(logical, num_chains) for logical in sets[group_index]]
 
 
-@lru_cache(maxsize=1 << 16)
+#
+# Both per-user caches below are *unbounded* on purpose.  They used to be
+# ``lru_cache(maxsize=1 << 16)``, which sat just under the 100k-user
+# populations the scale benchmarks run: every round sweeps the users in the
+# same order, so a population larger than the cache evicted each entry
+# exactly one sweep before its next use — an ~0% hit rate at precisely the
+# scale the memoisation was added for (classic LRU thrash).  Entries are
+# pure functions of their keys (which include ``num_chains``), so they can
+# never go stale; memory is a few dozen bytes per (user, epoch
+# configuration), and :func:`reset_assignment_caches` clears both between
+# epochs or benchmark sweeps.
+
+
+@lru_cache(maxsize=None)
 def _chains_for_user_cached(public_key_bytes: bytes, num_chains: int) -> Tuple[int, ...]:
     ell = ell_for_chains(num_chains)
     group_index = assign_group(public_key_bytes, ell + 1)
@@ -119,7 +133,7 @@ def chains_for_user(public_key_bytes: bytes, num_chains: int) -> List[int]:
     return list(_chains_for_user_cached(public_key_bytes, num_chains))
 
 
-@lru_cache(maxsize=1 << 16)
+@lru_cache(maxsize=None)
 def intersection_logical_chain(public_key_a: bytes, public_key_b: bytes, num_chains: int) -> int:
     """Smallest-index *logical* chain shared by the two users' groups.
 
@@ -159,6 +173,18 @@ def expected_chain_load(num_users: int, num_chains: int) -> float:
         raise ChainSelectionError("number of users must be non-negative")
     ell = ell_for_chains(num_chains)
     return num_users * ell / num_chains
+
+
+def reset_assignment_caches() -> None:
+    """Clear the per-user assignment caches (epoch change, benchmark sweeps).
+
+    Correctness never requires this — cache keys include every input the
+    cached values depend on — but a long-lived process that churns through
+    many distinct populations (the scale benchmarks, multi-deployment test
+    sessions) can call it to return the memory of retired epochs.
+    """
+    _chains_for_user_cached.cache_clear()
+    intersection_logical_chain.cache_clear()
 
 
 def group_sizes(user_public_keys: Sequence[bytes], num_chains: int) -> List[int]:

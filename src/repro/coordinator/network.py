@@ -114,6 +114,14 @@ class DeploymentConfig:
     #: and fetches whole chains at once over framed batch envelopes;
     #: bit-identical, DESIGN.md §7).
     population: str = "object"
+    #: Whether the engine runs the AHS precompute stage (§5.2.1 / DESIGN.md
+    #: §8): the chains' public-key work (DH blinding, outer-layer key
+    #: derivation) executes ahead of the online mix phase — overlapped with
+    #: the previous round's mixing under the staggered scheduler — leaving
+    #: the online phase as symmetric crypto plus the aggregate proofs.
+    #: ``False`` restores the online-only reference path (bit-identical
+    #: output; the benchmarks compare the two).
+    precompute: bool = True
 
     def resolved_num_chains(self) -> int:
         return self.num_chains if self.num_chains is not None else self.num_servers
@@ -468,6 +476,11 @@ class Deployment:
             newly_evicted = [name for name in servers if name not in self.evicted_servers]
             self.evicted_servers.update(servers)
             entry = per_chain.setdefault(chain_id, [round_number, []])
+            # A chain convicted in several rounds reports the *latest*
+            # convicting round, matching the ``last_round`` the secondary
+            # re-formations below use — not the first, which would make a
+            # multi-conviction action sequence internally inconsistent.
+            entry[0] = max(entry[0], round_number)
             entry[1].extend(name for name in newly_evicted if name not in entry[1])
         reformed: set = set()
         for chain_id, (round_number, newly_evicted) in per_chain.items():
@@ -568,6 +581,14 @@ class Deployment:
         for cached_round in sorted(self._begun_rounds):
             if cached_round >= self.next_round:
                 self._begun_rounds[cached_round][chain_id] = chain.begin_round(cached_round)
+
+        # Precomputed public-key tables for the old chain's future rounds
+        # were derived from the retired ceremony's secrets and are stale;
+        # invalidate them alongside the key re-announce.  The replaced
+        # members are dropped with the old chain, so this is defensive — it
+        # guarantees no stale table is ever consulted through a lingering
+        # reference (adversarial wrappers, tests).
+        old_chain.invalidate_precompute()
 
         # Banked covers that target the re-formed chain were built for key
         # material that no longer exists; playing them would misauthenticate.

@@ -33,6 +33,7 @@ bit-identical results under a fixed deployment seed.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -48,6 +49,15 @@ class ExecutionBackend:
     """Contract every mix-stage backend implements."""
 
     name: str = "abstract"
+
+    #: Whether ``map_chains`` mutates the *caller's* chain objects.  True for
+    #: in-process backends (serial, threads); False when the work runs in
+    #: forked workers whose state dies with them.  The engine's precompute
+    #: stage consults this: precomputed tables must land in the coordinator's
+    #: members (forked mix workers then inherit them by copy-on-write), so a
+    #: backend that cannot share state gets the precompute executed inline
+    #: instead of through ``map_chains``.
+    shares_state: bool = True
 
     def map_chains(self, fn: Callable[[_T], _R], chains: Sequence[_T]) -> List[_R]:
         raise NotImplementedError
@@ -86,14 +96,19 @@ class ParallelBackend(ExecutionBackend):
             raise ConfigurationError("a parallel backend needs at least one worker")
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
+        # The staggered scheduler may run the precompute stage on the
+        # coordinator thread while a mix runs on its worker thread; both go
+        # through map_chains, so lazy pool creation must be race-free.
+        self._pool_lock = threading.Lock()
 
     def _pool(self, num_tasks: int) -> ThreadPoolExecutor:
-        if self._executor is None:
-            workers = self._max_workers or min(max(num_tasks, 1), os.cpu_count() or 4)
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="xrd-chain"
-            )
-        return self._executor
+        with self._pool_lock:
+            if self._executor is None:
+                workers = self._max_workers or min(max(num_tasks, 1), os.cpu_count() or 4)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="xrd-chain"
+                )
+            return self._executor
 
     def map_chains(self, fn: Callable[[_T], _R], chains: Sequence[_T]) -> List[_R]:
         chains = list(chains)

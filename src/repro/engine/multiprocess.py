@@ -146,6 +146,12 @@ class MultiprocessBackend(ExecutionBackend):
 
     name = "multiprocess"
 
+    #: Worker mutations die with the fork; the engine therefore runs the
+    #: precompute stage inline in the parent, and the per-round tables reach
+    #: the mix workers through copy-on-write fork inheritance (the
+    #: "shipping" of precomputed tables across the process boundary).
+    shares_state = False
+
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if not hasattr(os, "fork"):
             raise ConfigurationError("the multiprocess backend requires POSIX fork")

@@ -12,18 +12,23 @@ Stage/state ownership, which is what makes that interleaving safe:
 
 * **prepare** and **announce** touch chain state (per-round inner keys);
 * **collect** touches only user state, the cover store, and the report;
+* **precompute** touches chain state for its own round only — per-round
+  precompute tables, written deterministically and never read by any other
+  round;
 * **mix** touches only chain state for its own round;
 * **deliver** and **fetch** touch the mailbox hub, user state, and the
   report.
 
 The scheduler keeps prepare/announce/deliver/fetch on the coordinating
-thread and only ever overlaps *collect* (user state) with *mix* (chain
-state) — disjoint by construction.
+thread and only ever overlaps *collect* (user state) and *precompute*
+(round *r*'s per-round tables) with *mix* (round *r − 1*'s chain state) —
+disjoint by construction.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.stages import ChainOutcome, RoundContext, RoundReport, RoundSpec
@@ -52,10 +57,11 @@ class RoundEngine:
     # -- one-shot execution ----------------------------------------------------
 
     def execute_round(self, spec: RoundSpec) -> RoundReport:
-        """Run all five stages of one round back to back."""
+        """Run all six stages of one round back to back."""
         ctx = self.prepare(spec)
         self.collect(ctx)
         self.finalize_collect(ctx)
+        self.precompute(ctx)
         self.mix(ctx)
         self.deliver(ctx)
         self.fetch(ctx)
@@ -243,6 +249,29 @@ class RoundEngine:
             )
             deployment._cover_store.update(banked)
 
+    def _fold_user_submissions(
+        self, ctx: RoundContext, per_chain: Dict[int, list], strict: bool = True
+    ) -> None:
+        """Fold delivered per-user submissions into per-chain batches.
+
+        Walks the users in global (deployment) order, skipping uploads a
+        faulty transport dropped (``None``) — the one definition of which
+        submissions are pending, shared by :meth:`finalize_collect`
+        (assembling the mix batches) and the overlapped precompute
+        (operating on the same pending set).  ``strict`` keeps
+        finalize_collect's invariant that a submission for a chain the
+        deployment does not run fails loudly (``KeyError``) instead of
+        being counted into a batch no chain will ever mix; the precompute
+        fold is tolerant — it only wants whatever work it can do early.
+        """
+        for user in self.deployment.users:
+            for submission in ctx.user_submissions.get(user.name, []):
+                if submission is not None:
+                    if strict:
+                        per_chain[submission.chain_id].append(submission)
+                    else:
+                        per_chain.setdefault(submission.chain_id, []).append(submission)
+
     def finalize_collect(self, ctx: RoundContext) -> None:
         """Build any deferred users' submissions and assemble the chain batches.
 
@@ -253,11 +282,7 @@ class RoundEngine:
         for user_name in ctx.deferred_users:
             self._build_user_submissions(ctx, deployment.user(user_name))
         ctx.deferred_users = []
-        for user in deployment.users:
-            for submission in ctx.user_submissions.get(user.name, []):
-                # A faulty transport may have dropped the upload (None).
-                if submission is not None:
-                    ctx.per_chain[submission.chain_id].append(submission)
+        self._fold_user_submissions(ctx, ctx.per_chain)
         for submission in ctx.spec.extra_submissions:
             if submission.chain_id in ctx.per_chain:
                 # Injected (possibly adversarial) submissions cross the same
@@ -271,8 +296,82 @@ class RoundEngine:
                     ctx.per_chain[submission.chain_id].append(delivered)
         ctx.report.total_submissions = sum(len(batch) for batch in ctx.per_chain.values())
 
+    # -- precompute stage (§5.2.1 / DESIGN.md §8) ---------------------------------
+
+    def _precompute_batches(
+        self, ctx: RoundContext, per_chain: Dict[int, list], use_backend: bool = True
+    ) -> None:
+        """Cascade the chains' public-key precompute over pending submissions.
+
+        Incremental: members skip publics already in their round tables, so
+        calling this once from the overlap window and again after
+        :meth:`finalize_collect` only pays for the entries the first pass
+        could not see (deferred users, injected extras).  In-process
+        backends fan the per-chain work out through ``map_chains``; the
+        multiprocess backend cannot (worker state dies with the fork), so
+        its precompute runs inline here and the mix workers inherit the
+        tables by copy-on-write at fork time.  ``use_backend=False`` forces
+        the inline path regardless — the staggered overlap window uses it
+        so the precompute never competes with the in-flight mix for the
+        backend's worker pool.
+        """
+        deployment = self.deployment
+
+        def run_chain(chain) -> None:
+            submissions = per_chain.get(chain.chain_id)
+            if submissions:
+                chain.precompute_round(
+                    ctx.round_number, chain.decode_submission_publics(submissions)
+                )
+
+        started = time.perf_counter()
+        if use_backend and self.backend.shares_state:
+            self.backend.map_chains(run_chain, deployment.chains)
+        else:
+            for chain in deployment.chains:
+                run_chain(chain)
+        timings = ctx.report.stage_seconds
+        timings["precompute"] = (
+            timings.get("precompute", 0.0) + time.perf_counter() - started
+        )
+
+    def precompute(self, ctx: RoundContext) -> None:
+        """Run the round's public-key work ahead of the online mix phase.
+
+        Operates on the assembled chain batches, so it is complete after
+        :meth:`finalize_collect`; a no-op when the deployment disables
+        precomputation (``DeploymentConfig.precompute=False`` — the
+        reference online-only path the benchmarks compare against).
+        """
+        if not self.deployment.config.precompute:
+            return
+        self._precompute_batches(ctx, ctx.per_chain)
+
+    def precompute_collected(self, ctx: RoundContext) -> None:
+        """Early precompute over whatever :meth:`collect` has built so far.
+
+        The staggered scheduler calls this inside the overlap window, while
+        the previous round is still mixing, so the bulk of round *r*'s
+        public-key work hides behind round *r − 1*'s online phase.  It runs
+        inline on the coordinating thread (``use_backend=False``) so it
+        never competes with that in-flight mix for the backend's worker
+        pool.  Deferred users and extra submissions are not built yet; the
+        post-finalize :meth:`precompute` tops those up.
+        """
+        if not self.deployment.config.precompute:
+            return
+        per_chain: Dict[int, list] = {}
+        self._fold_user_submissions(ctx, per_chain, strict=False)
+        self._precompute_batches(ctx, per_chain, use_backend=False)
+
     def mix(self, ctx: RoundContext) -> None:
-        """Run the aggregate hybrid shuffle on every chain via the backend."""
+        """Run the aggregate hybrid shuffle on every chain via the backend.
+
+        This is the protocol's *online* phase; its wall-clock duration is
+        recorded in ``report.stage_seconds["mix"]`` so the precompute win is
+        measurable (the fig4/fig5 companions and the benchmark gate track
+        it).
+        """
 
         def run_chain(chain) -> ChainOutcome:
             submissions = ctx.per_chain[chain.chain_id]
@@ -282,7 +381,9 @@ class RoundEngine:
             )
             return ChainOutcome(chain_id=chain.chain_id, accept_rejected=rejected, result=result)
 
+        started = time.perf_counter()
         outcomes = self.backend.map_chains(run_chain, self.deployment.chains)
+        ctx.report.stage_seconds["mix"] = time.perf_counter() - started
         ctx.chain_outcomes = {outcome.chain_id: outcome for outcome in outcomes}
 
     def deliver(self, ctx: RoundContext) -> None:

@@ -1,18 +1,22 @@
 """Typed artifacts of the staged round pipeline (see DESIGN.md §2).
 
-A communication round decomposes into five explicit stages:
+A communication round decomposes into six explicit stages:
 
 1. **prepare** — allocate the round number and announce the per-round inner
    keys on every chain, yielding the key views users need;
 2. **collect** — gather one submission per (user, assigned chain), play
    covers for offline users, and bank next round's covers;
-3. **mix** — run the aggregate hybrid shuffle on every chain (the only stage
+3. **precompute** — run every chain member's public-key work (DH blinding,
+   outer-layer key derivation) on the collected batch ahead of the online
+   phase (§5.2.1); deterministic and optional, so a scheduler may run it
+   early, partially, or not at all without changing any output;
+4. **mix** — run the aggregate hybrid shuffle on every chain (the only stage
    whose execution strategy is pluggable — chains share no mutable state, so
    a backend may mix them concurrently);
-4. **deliver** — fold the per-chain outcomes into the round report and hand
+5. **deliver** — fold the per-chain outcomes into the round report and hand
    the recovered mailbox messages to the mailbox servers, in chain order so
    the result is independent of the mixing schedule;
-5. **fetch** — each online user fetches and decrypts her mailbox.
+6. **fetch** — each online user fetches and decrypts her mailbox.
 
 This module holds the data that flows between those stages: the
 :class:`RoundSpec` describing what a round should do, the per-chain
@@ -56,6 +60,11 @@ class RoundReport:
     rejected_senders: List[str] = field(default_factory=list)
     total_submissions: int = 0
     dropped_unknown_recipients: int = 0
+    #: Wall-clock seconds per timed stage (``"precompute"``, ``"mix"`` — the
+    #: online phase).  Diagnostics only: timings are machine-dependent, so
+    #: they are deliberately excluded from :meth:`canonical_bytes` and play
+    #: no part in the parity matrix.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def conversation_payloads(self, user_name: str) -> List[bytes]:
         """Convenience: the conversation payloads delivered to ``user_name``."""

@@ -13,15 +13,22 @@ Schedule for round *r* in the steady state::
     ------------------                     ----------
     prepare(r)      (cached key views)
     collect(r)                             mix(r-1)      ← overlapped
+    precompute(r)   (collected users)      mix(r-1)      ← overlapped
     join mix(r-1); deliver(r-1); fetch(r-1)
     finalize_collect(r)  (deferred users)
-    announce(r+1 [, r+2])
+    precompute(r) top-up (only if deferred/extras); announce(r+1 [, r+2])
     dispatch mix(r) ────────────────────►  mix(r)
 
-Only *collect* (user state, cover store) ever overlaps *mix* (chain state) —
-disjoint by construction, see DESIGN.md §2.3.  Inner keys for future rounds
-are announced on the coordinator thread between joins (``announce``), so the
-overlapped stages never touch chain state.
+Only *collect* (user state, cover store) and *precompute* (round *r*'s
+per-round tables, §5.2.1 / DESIGN.md §8) ever overlap *mix* (round *r − 1*'s
+chain state) — disjoint by construction, see DESIGN.md §2.3.  Round *r*'s
+public-key work (DH blinding, layer-key derivation) therefore hides behind
+round *r − 1*'s online phase; the deferred users and injected extras the
+overlap window cannot see are topped up in the same coordinator-thread
+window that handles ``announce``.  Inner keys for future rounds are
+announced on the coordinator thread between joins (``announce``), so the
+overlapped collect never touches chain state; the overlapped precompute
+writes only its own round's tables, which no other round reads.
 
 Two properties make staggered output bit-identical to serial execution under
 a fixed seed.  First, every member's per-round randomness is an independent
@@ -94,8 +101,21 @@ class StaggeredScheduler:
             for spec in specs:
                 ctx = engine.prepare(spec)
                 engine.collect(ctx, defer=deferred)  # overlaps the previous round's mixing
+                engine.precompute_collected(ctx)  # so does this round's public-key work
+                # The overlap pass covered every built submission; only
+                # deferred users (built in finalize_collect, below) and
+                # injected extras can need a top-up.  Decide *before*
+                # finalize clears the deferred list, and skip the top-up
+                # entirely in the common all-online case so the
+                # non-overlapped window between join and dispatch stays
+                # thin — no re-walk of the full batch just to find zero
+                # misses (member tables make the rerun incremental, but
+                # the decode/encode sweep over the batch is not free).
+                needs_topup = bool(ctx.deferred_users) or bool(spec.extra_submissions)
                 join_pending()
                 engine.finalize_collect(ctx)  # deferred users see the fetched state
+                if needs_topup:
+                    engine.precompute(ctx)  # top up deferred users and extras
                 engine.announce(ctx.round_number + horizon)
                 deferred = frozenset(ctx.notice_targets)
                 pending = (ctx, executor.submit(engine.mix, ctx))

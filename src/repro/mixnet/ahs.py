@@ -17,6 +17,14 @@ The module implements the three phases of the protocol:
    their per-round inner secrets and the last server opens the inner
    envelopes, recovering the mailbox messages.
 
+The shuffle is "hybrid" (§5.2.1) because the expensive public-key half of
+the mixing phase — blinding every DH key, deriving every outer layer key —
+depends only on the DH publics, which are known before the online phase
+begins.  :meth:`ChainMember.precompute_round` runs exactly those two passes
+ahead of time and caches the results in the round record, leaving
+:meth:`ChainMember.process_round`'s online phase as symmetric crypto (AEAD
+opens + shuffle) plus the aggregate DLEQ proof.
+
 The classes here model *honest* behaviour; adversarial servers for tests and
 experiments live in :mod:`repro.coordinator.adversary` and override the
 relevant methods.
@@ -166,6 +174,12 @@ class _RoundRecord:
     inner_public: Optional[object] = None
     failed_indices: List[int] = field(default_factory=list)
     rng: Optional[random.Random] = None
+    #: Precomputed public-key work (§5.2.1): encoded DH public →
+    #: ``(blinded key, outer layer key)``.  ``None`` means no precompute ran
+    #: for the round and the online path takes the straight batched passes.
+    #: Keyed by encoding (not batch index) so the table survives shuffles,
+    #: rejected submissions, and the rerun-after-blame entry removal.
+    precomputed: Optional[Dict[bytes, tuple]] = None
 
 
 class ChainMember:
@@ -246,10 +260,100 @@ class ChainMember:
         proof = prove_dlog(group, group.base(), record.inner_secret, context, rng)
         return InnerKeyAnnouncement(position=self.position, inner_public=record.inner_public, proof=proof)
 
+    # -- precomputation (§5.2.1) -------------------------------------------------
+
+    def precompute_round(self, round_number: int, dh_publics: Sequence[object]) -> List[object]:
+        """Run the round's public-key work ahead of time and cache the results.
+
+        Both expensive passes of :meth:`process_round` — blinding every DH
+        key with the blinding secret and deriving every outer layer key from
+        the mixing secret — depend only on the DH publics, which are known
+        before the online phase (§5.2.1: the hybrid shuffle is "hybrid"
+        precisely so this work can run during idle time).  The results are
+        cached in the round record keyed by encoded public, and the blinded
+        keys are returned in input order so a chain can cascade the
+        precompute through its members (member *i*'s blinded outputs are
+        member *i + 1*'s inputs; the intervening shuffle only permutes the
+        batch, which a keyed table is insensitive to).
+
+        Idempotent and incremental: already-cached publics are not
+        recomputed, so late top-ups (deferred users, injected submissions)
+        only pay for the new entries.  Pure-deterministic: no randomness is
+        drawn, so running it — or not — never changes any round output.
+        """
+        if self.mixing_secret is None or self.blinding_secret is None:
+            raise ProtocolError("chain member has not completed key setup")
+        group = self.group
+        record = self._rounds.setdefault(round_number, _RoundRecord())
+        table = record.precomputed
+        if table is None:
+            table = record.precomputed = {}
+        encodings = [group.encode(public) for public in dh_publics]
+        missing = [index for index, key in enumerate(encodings) if key not in table]
+        if missing:
+            fresh = [dh_publics[index] for index in missing]
+            blinded = scalar_mult_batch(group, fresh, self.blinding_secret)
+            shared = scalar_mult_batch(group, fresh, self.mixing_secret)
+            for index, blinded_key, shared_element in zip(missing, blinded, shared):
+                table[encodings[index]] = (blinded_key, outer_layer_key(group, shared_element))
+        return [table[key][0] for key in encodings]
+
+    def invalidate_precompute(self, round_number: Optional[int] = None) -> None:
+        """Drop cached precompute tables (for one round, or every round).
+
+        Called when the key material the tables were derived from stops
+        being valid — in particular when a chain is re-formed after a blame
+        eviction, where the fresh ceremony replaces every member secret.
+        """
+        if round_number is not None:
+            record = self._rounds.get(round_number)
+            if record is not None:
+                record.precomputed = None
+            return
+        for record in self._rounds.values():
+            record.precomputed = None
+
+    def _blind_and_derive_keys(
+        self, round_number: int, dh_publics: Sequence[object]
+    ) -> Tuple[List[object], List[bytes]]:
+        """The two public-key passes of the mix step, precomputed or fresh.
+
+        With a precompute table the passes become table lookups (topping up
+        any entries the precompute phase missed); without one this is the
+        straight batched reference path.  Values are bit-identical either
+        way — ``scalar_mult`` is deterministic — which is what the
+        precompute parity matrix asserts.
+        """
+        group = self.group
+        record = self._rounds.setdefault(round_number, _RoundRecord())
+        if record.precomputed is None:
+            # Batched blinding fast path: every DH key is multiplied by the
+            # same blinding secret, so the scalar is recoded once for the
+            # whole batch; the per-entry shared elements for layer removal
+            # are one many-points-one-scalar pass over the mixing secret.
+            blinded_keys = scalar_mult_batch(group, dh_publics, self.blinding_secret)
+            shared_elements = scalar_mult_batch(group, dh_publics, self.mixing_secret)
+            return blinded_keys, [outer_layer_key(group, shared) for shared in shared_elements]
+        table = record.precomputed
+        encodings = [group.encode(public) for public in dh_publics]
+        missing = [public for public, key in zip(dh_publics, encodings) if key not in table]
+        if missing:  # entries the precompute phase could not see; compute inline
+            self.precompute_round(round_number, missing)
+        return (
+            [table[key][0] for key in encodings],
+            [table[key][1] for key in encodings],
+        )
+
     # -- mixing -----------------------------------------------------------------
 
     def process_round(self, round_number: int, entries: Sequence[BatchEntry]) -> MixStepResult:
-        """Decrypt one layer, blind the DH keys, shuffle, and prove (§6.3 steps 1-3)."""
+        """Decrypt one layer, blind the DH keys, shuffle, and prove (§6.3 steps 1-3).
+
+        The public-key work (blinding, layer-key derivation) is served from
+        the precompute table when :meth:`precompute_round` ran for this
+        round, leaving the online phase as AEAD opens + shuffle + the
+        aggregate proof; otherwise both batched passes run inline.
+        """
         if self.mixing_secret is None or self.blinding_secret is None:
             raise ProtocolError("chain member has not completed key setup")
         group = self.group
@@ -257,15 +361,9 @@ class ChainMember:
         record = self._rounds.setdefault(round_number, _RoundRecord())
         record.inputs = list(entries)
         dh_publics = [entry.dh_public for entry in entries]
-        # Batched blinding fast path: every DH key is multiplied by the same
-        # blinding secret, so the scalar is recoded once for the whole batch.
-        blinded_keys = scalar_mult_batch(group, dh_publics, self.blinding_secret)
-        # The layer removal is batched the same way: the per-entry shared
-        # elements are one many-points-one-scalar pass over the mixing
-        # secret, and the authenticated opens run as one keystream batch.
-        # Per-entry results are identical to decrypt_outer_layer.
-        shared_elements = scalar_mult_batch(group, dh_publics, self.mixing_secret)
-        layer_keys = [outer_layer_key(group, shared) for shared in shared_elements]
+        blinded_keys, layer_keys = self._blind_and_derive_keys(round_number, dh_publics)
+        # The authenticated opens run as one keystream batch; per-entry
+        # results are identical to decrypt_outer_layer.
         opened = adec_batch(
             layer_keys, round_number, [entry.ciphertext for entry in entries]
         )
@@ -477,6 +575,55 @@ class MixChain:
         aggregate = group.sum(publics)
         self._aggregate_inner[round_number] = aggregate
         return aggregate
+
+    def precompute_round(self, round_number: int, dh_publics: Sequence[object]) -> None:
+        """Precompute every member's public-key work for the round (§5.2.1).
+
+        ``dh_publics`` are the (decoded) DH keys of the submissions expected
+        in the round's batch.  The precompute cascades down the chain:
+        member 0 blinds the original publics, and each member's blinded
+        outputs are the next member's inputs — exactly the keys it will see
+        online, up to the predecessor's shuffle, which the members' keyed
+        tables are insensitive to.  After this, :meth:`run_round`'s per-member
+        online work is AEAD opens + shuffle + the aggregate DLEQ proof.
+
+        Deterministic and side-effect-free beyond the member caches, so it
+        may run concurrently with another round's mixing (the stagger
+        window) and is safe to repeat or top up incrementally.
+        """
+        publics = list(dh_publics)
+        for member in self.members:
+            publics = member.precompute_round(round_number, publics)
+
+    def invalidate_precompute(self, round_number: Optional[int] = None) -> None:
+        """Drop every member's cached precompute tables.
+
+        Re-forming a chain discards the members themselves, but the
+        coordinator still invalidates explicitly (alongside the inner-key
+        re-announce) so tables derived from retired key material can never
+        be consulted through a stale reference.
+        """
+        for member in self.members:
+            member.invalidate_precompute(round_number)
+
+    def decode_submission_publics(self, submissions: Sequence[ClientSubmission]) -> List[object]:
+        """The decodable DH publics of a pending batch, for :meth:`precompute_round`.
+
+        Mirrors :meth:`accept_submissions`'s decode step without verifying
+        proofs (proof checks stay online): submissions that will be rejected
+        merely precompute an unused table entry, and undecodable or
+        wrong-chain ones are skipped here exactly as they are rejected
+        there.
+        """
+        publics: List[object] = []
+        for submission in submissions:
+            if submission.chain_id != self.chain_id:
+                continue
+            try:
+                publics.append(self.group.decode(submission.dh_public))
+            except Exception:
+                continue
+        return publics
 
     def aggregate_inner_public(self, round_number: int):
         """Return Σ ipk for the round (what users encrypt inner envelopes to)."""

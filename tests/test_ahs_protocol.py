@@ -311,6 +311,82 @@ class TestHonestMixing:
                 assert result.blame_verdict is not None
 
 
+class TestPrecompute:
+    def test_precompute_round_returns_blinded_keys_and_fills_table(self, group):
+        chain = build_chain(group, length=2)
+        chain.begin_round(1)
+        member = chain.members[0]
+        publics = [group.base_mult(group.random_scalar()) for _ in range(3)]
+        blinded = member.precompute_round(1, publics)
+        assert blinded == [group.scalar_mult(p, member.blinding_secret) for p in publics]
+        table = member.round_record(1).precomputed
+        assert set(table) == {group.encode(p) for p in publics}
+        for public in publics:
+            cached_blinded, cached_key = table[group.encode(public)]
+            assert cached_blinded == group.scalar_mult(public, member.blinding_secret)
+            from repro.crypto.onion import outer_layer_key
+
+            assert cached_key == outer_layer_key(
+                group, group.scalar_mult(public, member.mixing_secret)
+            )
+
+    def test_precompute_is_incremental_and_idempotent(self, group):
+        chain = build_chain(group, length=1)
+        chain.begin_round(1)
+        member = chain.members[0]
+        first = group.base_mult(group.random_scalar())
+        second = group.base_mult(group.random_scalar())
+        member.precompute_round(1, [first])
+        table = member.round_record(1).precomputed
+        assert len(table) == 1
+        member.precompute_round(1, [first, second])  # tops up, same table object
+        assert member.round_record(1).precomputed is table
+        assert len(table) == 2
+        member.precompute_round(1, [first, second])  # pure repeat: no change
+        assert len(table) == 2
+
+    def test_precompute_requires_key_setup(self, group):
+        member = ChainMember("server-0", 0, 0, group, random.Random(1))
+        with pytest.raises(ProtocolError):
+            member.precompute_round(1, [])
+
+    def test_invalidate_precompute_per_round_and_global(self, group):
+        chain = build_chain(group, length=1)
+        member = chain.members[0]
+        public = group.base_mult(group.random_scalar())
+        for round_number in (1, 2):
+            chain.begin_round(round_number)
+            member.precompute_round(round_number, [public])
+        member.invalidate_precompute(1)
+        assert member.round_record(1).precomputed is None
+        assert member.round_record(2).precomputed is not None
+        member.invalidate_precompute()
+        assert member.round_record(2).precomputed is None
+        # Invalidating a round that never precomputed is a no-op.
+        member.invalidate_precompute(99)
+
+    def test_chain_precompute_cascade_feeds_every_member(self, group):
+        chain = build_chain(group, length=3)
+        chain.begin_round(1)
+        publics = [group.base_mult(group.random_scalar()) for _ in range(2)]
+        chain.precompute_round(1, publics)
+        expected = list(publics)
+        for member in chain.members:
+            table = member.round_record(1).precomputed
+            assert set(table) == {group.encode(p) for p in expected}
+            expected = [group.scalar_mult(p, member.blinding_secret) for p in expected]
+
+    def test_decode_submission_publics_skips_foreign_and_garbage(self, group):
+        chain = build_chain(group, length=2)
+        chain.begin_round(1)
+        recipient = KeyPair.generate(group)
+        good = make_submission(group, chain, 1, "alice", recipient.public_bytes, b"\x01" * 32)
+        foreign = ClientSubmission(99, "bob", good.dh_public, good.ciphertext, good.proof)
+        garbage = ClientSubmission(0, "eve", b"\xff" * 32, good.ciphertext, good.proof)
+        publics = chain.decode_submission_publics([good, foreign, garbage])
+        assert publics == [group.decode(good.dh_public)]
+
+
 class TestContextHelpers:
     def test_contexts_are_distinct(self):
         assert setup_context(1, 2) != setup_context(2, 1)

@@ -19,6 +19,8 @@ payload was re-decoded from its wire bytes, so parity proves the codecs of
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.coordinator.network import Deployment, DeploymentConfig
 from repro.engine import (
@@ -34,6 +36,19 @@ from tests.test_ahs_protocol import make_submission
 
 BACKENDS = ("serial", "parallel", "multiprocess")
 TRANSPORTS = ("inproc", "instrumented")
+
+_PROPERTY_GROUP = None
+
+
+def _property_group():
+    """One shared ModP group for the hypothesis parity properties (its safe
+    prime search is the expensive part, not the arithmetic)."""
+    global _PROPERTY_GROUP
+    if _PROPERTY_GROUP is None:
+        from repro.crypto.group import ModPGroup
+
+        _PROPERTY_GROUP = ModPGroup()
+    return _PROPERTY_GROUP
 
 
 def build(backend="serial", seed=42, transport="inproc", population="object", **kwargs):
@@ -200,6 +215,211 @@ class TestPopulationParity:
         ]
         assert len(submission_records) == deployment.num_chains
         deployment.close()
+
+
+class TestPrecomputeParity:
+    """The AHS precompute phase is bit-identical to the online path (ISSUE 5).
+
+    With ``DeploymentConfig.precompute=True`` (the default) the chains'
+    public-key work runs in the engine's precompute stage — overlapped with
+    the previous round's mixing under the staggered scheduler — and the
+    online mix phase serves blinded keys and layer keys from the cached
+    tables.  Every cell of {serial, parallel, multiprocess} × {inproc,
+    instrumented} × {sequential, staggered} (plus the batched-population
+    path) must equal the online-only reference, including rounds after a
+    blame conviction and chain re-formation.
+    """
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        deployment = build("serial", transport="inproc", precompute=False)
+        return fingerprints(deployment.run_rounds(conversation_script(deployment)))
+
+    @pytest.mark.parametrize("staggered", (False, True))
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_precompute_matrix_cell(self, reference, backend, transport, staggered):
+        deployment = build(backend, transport=transport, precompute=True)
+        actual = fingerprints(
+            deployment.run_rounds(conversation_script(deployment), staggered=staggered)
+        )
+        deployment.close()
+        assert actual == reference
+
+    @pytest.mark.parametrize("staggered", (False, True))
+    def test_precompute_with_batched_population(self, reference, staggered):
+        deployment = build("parallel", population="batched", precompute=True)
+        actual = fingerprints(
+            deployment.run_rounds(conversation_script(deployment), staggered=staggered)
+        )
+        deployment.close()
+        assert actual == reference
+
+    def test_precompute_stage_recorded_only_when_enabled(self):
+        enabled = build(precompute=True)
+        report = enabled.run_round()
+        assert "precompute" in report.stage_seconds and "mix" in report.stage_seconds
+        enabled.close()
+        disabled = build(precompute=False)
+        report = disabled.run_round()
+        assert "precompute" not in report.stage_seconds and "mix" in report.stage_seconds
+        disabled.close()
+
+    def test_precompute_survives_blame_recovery(self):
+        """Post-``recover()`` rounds stay bit-identical with precompute on.
+
+        The tamper scenario convicts a server at round 2, evicts it, and
+        re-forms the chain; rounds 3+ run on fresh members whose precompute
+        tables are rebuilt for the new ceremony.
+        """
+        from repro.faults.scenarios import tamper_and_recover
+        from tests.test_faults import run_scenario
+
+        expected = run_scenario(tamper_and_recover(), precompute=False).canonical_bytes()
+        for backend, staggered in (("serial", False), ("parallel", True), ("multiprocess", True)):
+            report = run_scenario(
+                tamper_and_recover(), backend, staggered, precompute=True
+            )
+            assert report.canonical_bytes() == expected
+
+    def test_reform_invalidates_old_chain_precompute(self):
+        """Stale tables die with the re-formed chain's retired members."""
+        deployment = build()
+        deployment.run_round()
+        old_chain = deployment.chains[0]
+        record = old_chain.members[0].round_record(1)
+        assert record.precomputed
+        deployment.note_convictions(1, old_chain.chain_id, [old_chain.members[0].server_name])
+        deployment.recover()
+        for member in old_chain.members:
+            assert member.round_record(1).precomputed is None
+        # The re-formed chain (fresh members, fresh ceremony) still delivers.
+        report = deployment.run_round()
+        assert report.all_chains_delivered()
+        assert deployment.chains[0].members[0].round_record(2).precomputed
+        deployment.close()
+
+
+class TestPrecomputePropertyParity:
+    """Hypothesis: member-level precompute + slim online == plain online.
+
+    For arbitrary entry batches — valid submissions, tampered ciphertexts
+    (the blame/failed-open path), or a mix — ``precompute_round`` followed
+    by ``process_round`` must produce exactly the ``MixStepResult`` that
+    ``process_round`` alone produces on an identically-seeded twin member.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.data())
+    def test_precompute_then_online_equals_process_round(self, data):
+        from repro.crypto.keys import KeyPair
+        from repro.mixnet.messages import BatchEntry
+        from tests.test_ahs_protocol import build_chain
+
+        group = _property_group()
+        seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+        count = data.draw(st.integers(min_value=0, max_value=4), label="entries")
+        corrupt = data.draw(
+            st.lists(st.booleans(), min_size=count, max_size=count), label="corrupt"
+        )
+        online = build_chain(group, length=2, seed=seed)
+        precomputed = build_chain(group, length=2, seed=seed)
+        online.begin_round(1)
+        precomputed.begin_round(1)
+        recipient = KeyPair.generate(group)
+        submissions = [
+            make_submission(
+                group, online, 1, f"user-{index}", recipient.public_bytes,
+                bytes([index + 1]) * 32,
+            )
+            for index in range(count)
+        ]
+
+        def entries_for(chain):
+            accepted, rejected = chain.accept_submissions(1, submissions)
+            assert rejected == []
+            entries = list(accepted)
+            for index, flag in enumerate(corrupt):
+                if flag:  # tampered ciphertext → failed open → blame path
+                    entries[index] = BatchEntry(
+                        dh_public=entries[index].dh_public,
+                        ciphertext=bytes([entries[index].ciphertext[0] ^ 0xFF])
+                        + entries[index].ciphertext[1:],
+                    )
+            return entries
+
+        entries = entries_for(online)
+        twin_entries = entries_for(precomputed)
+        member_online = online.members[0]
+        member_pre = precomputed.members[0]
+        blinded = member_pre.precompute_round(1, [entry.dh_public for entry in entries])
+        assert blinded == [
+            group.scalar_mult(entry.dh_public, member_pre.blinding_secret)
+            for entry in entries
+        ]
+        result_pre = member_pre.process_round(1, twin_entries)
+        result_online = member_online.process_round(1, entries)
+        assert result_pre.position == result_online.position
+        assert result_pre.entries == result_online.entries
+        assert result_pre.proof == result_online.proof
+        assert result_pre.failed_indices == result_online.failed_indices
+        # The slim online phase really did consult the table.
+        table = member_pre.round_record(1).precomputed
+        assert table is not None and len(table) == len(
+            {group.encode(entry.dh_public) for entry in entries}
+        )
+        assert member_online.round_record(1).precomputed is None
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.data())
+    def test_chain_level_precompute_parity_with_blame(self, data):
+        """Whole-chain cascade parity, including halted/blamed rounds."""
+        from repro.crypto.keys import KeyPair
+        from repro.mixnet.messages import BatchEntry
+        from tests.test_ahs_protocol import build_chain
+
+        group = _property_group()
+        seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+        count = data.draw(st.integers(min_value=1, max_value=4), label="entries")
+        corrupt_index = data.draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=count - 1)),
+            label="corrupt_index",
+        )
+        online = build_chain(group, length=2, seed=seed)
+        precomputed = build_chain(group, length=2, seed=seed)
+        online.begin_round(1)
+        precomputed.begin_round(1)
+        recipient = KeyPair.generate(group)
+        submissions = [
+            make_submission(
+                group, online, 1, f"user-{index}", recipient.public_bytes,
+                bytes([index + 1]) * 32,
+            )
+            for index in range(count)
+        ]
+
+        def run(chain, with_precompute):
+            chain.accept_submissions(1, submissions)
+            if corrupt_index is not None:
+                entry = chain._entries[1][corrupt_index]
+                chain._entries[1][corrupt_index] = BatchEntry(
+                    dh_public=entry.dh_public,
+                    ciphertext=bytes([entry.ciphertext[0] ^ 0xFF]) + entry.ciphertext[1:],
+                )
+            if with_precompute:
+                chain.precompute_round(1, [e.dh_public for e in chain._entries[1]])
+            return chain.run_round(1)
+
+        result_online = run(online, with_precompute=False)
+        result_pre = run(precomputed, with_precompute=True)
+        assert result_pre.status == result_online.status
+        assert [m.to_bytes() for m in result_pre.mailbox_messages] == [
+            m.to_bytes() for m in result_online.mailbox_messages
+        ]
+        assert result_pre.rejected_senders == result_online.rejected_senders
+        assert result_pre.invalid_inner_count == result_online.invalid_inner_count
+        if result_online.blame_verdict is not None:
+            assert result_pre.blame_verdict.to_bytes() == result_online.blame_verdict.to_bytes()
 
 
 class TestBackendParity:

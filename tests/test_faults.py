@@ -237,6 +237,30 @@ class TestRecoveryMechanics:
         assert report.all_chains_delivered()
         deployment.close()
 
+    def test_multi_round_conviction_reports_latest_round(self):
+        """A chain convicted in several rounds reports the *latest* one.
+
+        Regression (ISSUE 5): the primary recovery action used to pin the
+        *first* convicting round while the secondary re-formations of other
+        chains used the last — so a two-round conviction produced an
+        internally inconsistent action sequence.
+        """
+        deployment = build(num_servers=6)
+        chain = deployment.chains[0]
+        first, second = (member.server_name for member in chain.members[:2])
+        deployment.note_convictions(2, chain.chain_id, [first])
+        deployment.note_convictions(5, chain.chain_id, [second])
+        actions = deployment.recover()
+        primary = next(action for action in actions if action.chain_id == chain.chain_id)
+        assert primary.round_number == 5
+        assert primary.evicted == [first, second]
+        # Secondary re-formations (other chains hosting the evicted servers)
+        # already used the latest round; the whole sequence now agrees.
+        assert {action.round_number for action in actions} == {5}
+        report = deployment.run_round()
+        assert report.all_chains_delivered()
+        deployment.close()
+
 
 class TestBlameVerdictWire:
     def test_verdict_round_trips(self):
