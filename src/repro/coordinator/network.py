@@ -28,6 +28,7 @@ bytes, and only physical sockets are elided (DESIGN.md §3).
 
 from __future__ import annotations
 
+import os
 import random
 import warnings
 from dataclasses import dataclass
@@ -122,6 +123,18 @@ class DeploymentConfig:
     #: ``False`` restores the online-only reference path (bit-identical
     #: output; the benchmarks compare the two).
     precompute: bool = True
+    #: Streaming population builds (DESIGN.md §9): when set, the batched
+    #: population path builds, uploads, delivers, and fetches in chunks of
+    #: this many users instead of one whole-population pass, so peak memory
+    #: is O(chunk).  ``None`` (default) keeps the monolithic reference pass.
+    #: Requires ``population="batched"``.
+    population_chunk_size: Optional[int] = None
+    #: Fork-based worker pool for the chunk builds (0 = build chunks in
+    #: process).  Workers inherit the population copy-on-write and ship
+    #: encoded batch envelopes plus RNG-stream cursors back to the parent,
+    #: which replays the draws so determinism is preserved.  Requires
+    #: ``population_chunk_size`` (and therefore ``population="batched"``).
+    population_build_workers: int = 0
 
     def resolved_num_chains(self) -> int:
         return self.num_chains if self.num_chains is not None else self.num_servers
@@ -157,6 +170,31 @@ class DeploymentConfig:
             raise ConfigurationError("transport must be 'inproc' or 'instrumented'")
         if self.population not in ("object", "batched"):
             raise ConfigurationError("population must be 'object' or 'batched'")
+        if self.population_chunk_size is not None and self.population_chunk_size < 1:
+            raise ConfigurationError("population_chunk_size must be positive when set")
+        if self.population_build_workers < 0:
+            raise ConfigurationError("population_build_workers must be non-negative")
+        if self.population != "batched":
+            if self.population_chunk_size is not None:
+                raise ConfigurationError(
+                    "population_chunk_size requires population='batched' "
+                    "(the object path has no chunked build)"
+                )
+            if self.population_build_workers > 0:
+                raise ConfigurationError(
+                    "population_build_workers requires population='batched' "
+                    "(the object path has no chunked build)"
+                )
+        if self.population_build_workers > 0:
+            if self.population_chunk_size is None:
+                raise ConfigurationError(
+                    "population_build_workers needs population_chunk_size: "
+                    "workers parallelise over chunks"
+                )
+            if not hasattr(os, "fork"):
+                raise ConfigurationError(
+                    "population_build_workers requires POSIX fork"
+                )
 
 
 class MixServerNode:

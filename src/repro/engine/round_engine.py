@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.stages import ChainOutcome, RoundContext, RoundReport, RoundSpec
+from repro.population.streaming import built_chunks, chunk_spans
 from repro.transport.envelope import (
     MAILBOX_DELIVERY,
     MAILBOX_FETCH,
@@ -183,15 +184,17 @@ class RoundEngine:
     # -- population (batched) build path -----------------------------------------
 
     def _upload_submission_batches(
-        self, ctx: RoundContext, per_chain, cover: bool
+        self, ctx: RoundContext, per_chain, cover: bool, part: Optional[int] = None
     ) -> dict:
         """Ship per-chain batches over the transport; scatter back per sender.
 
-        One framed envelope crosses each (chain, entry-server) link.  The
-        delivered (possibly re-decoded) submissions are scattered into
-        per-sender FIFO queues keyed by chain, from which
-        :meth:`_build_population_submissions` reassembles each user's list in
-        her own chain-slot order — the exact shape the per-user path stores.
+        One framed envelope crosses each (chain, entry-server) link — per
+        round in the monolithic path, per (chain, chunk) when the streaming
+        pipeline passes a ``part`` index.  The delivered (possibly
+        re-decoded) submissions are scattered into per-sender FIFO queues
+        keyed by chain, from which :meth:`_build_population_submissions`
+        reassembles each user's list in her own chain-slot order — the exact
+        shape the per-user path stores.
         """
         deployment = self.deployment
         queues: dict = {}
@@ -203,6 +206,7 @@ class RoundEngine:
                     deployment.entry_servers,
                     ctx.round_number,
                     cover=cover,
+                    part=part,
                 )
             )
             chain_queues = queues.setdefault(chain_id, {})
@@ -230,24 +234,50 @@ class RoundEngine:
         return per_user
 
     def _build_population_submissions(self, ctx: RoundContext, users) -> None:
-        """Batched equivalent of :meth:`_build_user_submissions` for ``users``."""
+        """Batched equivalent of :meth:`_build_user_submissions` for ``users``.
+
+        Streams through :func:`repro.population.streaming.built_chunks`:
+        with ``population_chunk_size`` unset that is a single
+        whole-population chunk (the monolithic reference pass — envelope
+        stream unchanged); with it set, each chunk is built (possibly in a
+        forked worker), uploaded as per-(chain, chunk) framed envelopes, and
+        released before the next, so peak build memory is O(chunk).  Uploads
+        always run here on the coordinating thread in (chunk, chain) order,
+        so every transport sees the same deterministic envelope stream
+        regardless of how the chunks were built.
+        """
         deployment = self.deployment
         population = deployment.population
-        per_chain = population.build_round_submissions_batch(
-            ctx.round_number, ctx.current_views, users, payloads=ctx.spec.payloads
-        )
-        delivered = self._scatter_batch(
-            self._upload_submission_batches(ctx, per_chain, cover=False), users
-        )
-        ctx.user_submissions.update(delivered)
-        if deployment.config.use_cover_messages:
-            cover_chains = population.build_cover_submissions_batch(
-                ctx.round_number + 1, ctx.next_views, users
+        config = deployment.config
+        chunk_size = config.population_chunk_size
+        for chunk in built_chunks(
+            population,
+            ctx.round_number,
+            ctx.current_views,
+            ctx.next_views,
+            users,
+            ctx.spec.payloads,
+            chunk_size,
+            use_covers=config.use_cover_messages,
+            num_workers=config.population_build_workers,
+        ):
+            part = chunk.index if chunk_size is not None else None
+            delivered = self._scatter_batch(
+                self._upload_submission_batches(
+                    ctx, chunk.submissions, cover=False, part=part
+                ),
+                chunk.users,
             )
-            banked = self._scatter_batch(
-                self._upload_submission_batches(ctx, cover_chains, cover=True), users
-            )
-            deployment._cover_store.update(banked)
+            ctx.user_submissions.update(delivered)
+            if chunk.covers is not None:
+                banked = self._scatter_batch(
+                    self._upload_submission_batches(
+                        ctx, chunk.covers, cover=True, part=part
+                    ),
+                    chunk.users,
+                )
+                deployment._cover_store.update(banked)
+            population.emit_progress("build", chunk.index, len(chunk.users))
 
     def _fold_user_submissions(
         self, ctx: RoundContext, per_chain: Dict[int, list], strict: bool = True
@@ -406,20 +436,30 @@ class RoundEngine:
             )
             if result.delivered:
                 # The last server of the chain ships the recovered messages
-                # to the mailbox tier.
-                messages = deployment.transport.deliver(
-                    Envelope(
-                        kind=MAILBOX_DELIVERY,
-                        source=chain.members[-1].server_name,
-                        destination="mailbox-hub",
-                        round_number=ctx.round_number,
-                        payload=result.mailbox_messages,
-                        chain_id=chain.chain_id,
+                # to the mailbox tier — as one framed message per chain, or
+                # per (chain, chunk) under the streaming pipeline, so the
+                # mailbox hub's intake is incremental and the largest single
+                # wire message stays bounded.  deliver_batch preserves
+                # per-recipient arrival order across successive calls, so
+                # chunked delivery leaves mailbox contents bit-identical.
+                chunk_size = deployment.config.population_chunk_size
+                for part, span in enumerate(
+                    chunk_spans(result.mailbox_messages, chunk_size)
+                ):
+                    messages = deployment.transport.deliver(
+                        Envelope(
+                            kind=MAILBOX_DELIVERY,
+                            source=chain.members[-1].server_name,
+                            destination="mailbox-hub",
+                            round_number=ctx.round_number,
+                            payload=span,
+                            chain_id=chain.chain_id,
+                            part=part if chunk_size is not None else None,
+                        )
                     )
-                )
-                report.dropped_unknown_recipients += deployment.mailboxes.deliver_batch(
-                    ctx.round_number, messages
-                )
+                    report.dropped_unknown_recipients += (
+                        deployment.mailboxes.deliver_batch(ctx.round_number, messages)
+                    )
         # Server convictions (blame verdicts, proof failures) become pending
         # recoveries: the coordinator evicts and re-forms on an explicit
         # Deployment.recover(), never mid-pipeline — see that method's note
@@ -465,33 +505,48 @@ class RoundEngine:
             self._fetch_population(ctx, batched)
 
     def _fetch_population(self, ctx: RoundContext, users) -> None:
-        """Batched fetch: one framed download per mailbox shard."""
+        """Batched fetch: one framed download per mailbox shard.
+
+        Under the streaming pipeline the users are walked in population
+        chunks: each chunk's downloads are framed per (shard, chunk) and
+        trial-decrypted before the next chunk's are fetched, so the fetch
+        stage holds O(chunk) inboxes at a time.  ``chunk_size=None`` is one
+        whole-population chunk — the monolithic reference flow.  Mailbox
+        classification is per (user, message), so chunking cannot change
+        any outcome; chunks are decrypted in order, so the §5.3.3
+        mark-partner-offline side effects land in the same user order too.
+        """
         deployment = self.deployment
+        population = deployment.population
         report = ctx.report
-        inboxes_by_owner: dict = {}
-        for server, owners in deployment.mailboxes.shard_owners(
-            [user.public_bytes for user in users]
-        ):
-            pairs = deployment.mailboxes.fetch_batch(ctx.round_number, owners)
-            delivered = deployment.transport.deliver(
-                Envelope(
-                    kind=MAILBOX_FETCH_BATCH,
-                    source=server.name,
-                    destination="user-population",
-                    round_number=ctx.round_number,
-                    payload=pairs,
+        chunk_size = deployment.config.population_chunk_size
+        for part, span in enumerate(chunk_spans(users, chunk_size)):
+            inboxes_by_owner: dict = {}
+            for server, owners in deployment.mailboxes.shard_owners(
+                [user.public_bytes for user in span]
+            ):
+                pairs = deployment.mailboxes.fetch_batch(ctx.round_number, owners)
+                delivered = deployment.transport.deliver(
+                    Envelope(
+                        kind=MAILBOX_FETCH_BATCH,
+                        source=server.name,
+                        destination="user-population",
+                        round_number=ctx.round_number,
+                        payload=pairs,
+                        part=part if chunk_size is not None else None,
+                    )
+                )
+                for owner, messages in delivered or []:
+                    inboxes_by_owner.setdefault(owner, []).extend(messages)
+            inboxes = [inboxes_by_owner.get(user.public_bytes, []) for user in span]
+            for user, inbox in zip(span, inboxes):
+                report.mailbox_counts[user.name] = len(inbox)
+            report.delivered.update(
+                population.decrypt_mailboxes_batch(
+                    ctx.round_number, span, inboxes, deployment.num_chains
                 )
             )
-            for owner, messages in delivered or []:
-                inboxes_by_owner.setdefault(owner, []).extend(messages)
-        inboxes = [inboxes_by_owner.get(user.public_bytes, []) for user in users]
-        for user, inbox in zip(users, inboxes):
-            report.mailbox_counts[user.name] = len(inbox)
-        report.delivered.update(
-            deployment.population.decrypt_mailboxes_batch(
-                ctx.round_number, users, inboxes, deployment.num_chains
-            )
-        )
+            population.emit_progress("fetch", part, len(span))
 
     # -- multi-round convenience ------------------------------------------------
 

@@ -7,8 +7,13 @@ and fetch stages run per *chain* instead of per *user*.  The per-user
 :class:`~repro.client.user.User` API remains the reference semantics; the
 population produces bit-identical outputs (enforced by the engine parity
 suite) while feeding the batched crypto fast paths with whole-chain inputs.
+
+:mod:`repro.population.streaming` (DESIGN.md §9) slices those whole-chain
+operations into bounded chunks — optionally built by a fork-based worker
+pool — so peak memory is O(chunk) instead of O(users).
 """
 
 from repro.population.population import UserPopulation
+from repro.population.streaming import BuiltChunk, built_chunks, chunk_spans
 
-__all__ = ["UserPopulation"]
+__all__ = ["UserPopulation", "BuiltChunk", "built_chunks", "chunk_spans"]

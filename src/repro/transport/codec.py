@@ -39,6 +39,8 @@ __all__ = [
     "decode_blame_verdict",
     "encode_chain_outcome",
     "decode_chain_outcome",
+    "encode_submission_batch",
+    "decode_submission_batch",
     "UnsupportedPayload",
 ]
 
@@ -156,6 +158,14 @@ def _decode_submission_batch(group, data: bytes) -> List[ClientSubmission]:
     if offset != len(data):
         raise DecodingError("trailing bytes after submission batch")
     return submissions
+
+
+#: Public aliases of the submission-batch codec: the streaming population
+#: pipeline's forked build workers ship each chunk's per-chain batches back
+#: to the parent in exactly the bytes a ``SUBMISSION_BATCH`` envelope would
+#: carry on the wire (DESIGN.md §9).
+encode_submission_batch = _encode_submission_batch
+decode_submission_batch = _decode_submission_batch
 
 
 def _encode_fetch_batch(pairs) -> bytes:

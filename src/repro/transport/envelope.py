@@ -99,6 +99,11 @@ class Envelope:
     #: (submissions and batches); lets accounting reconstruct per-chain
     #: critical paths.
     chain_id: Optional[int] = None
+    #: Chunk index when the flow is streamed per population chunk
+    #: (DESIGN.md §9): the streaming pipeline frames several envelopes per
+    #: (link, round) instead of one, and ``part`` orders them.  ``None``
+    #: for monolithic (whole-population) frames and all other flows.
+    part: Optional[int] = None
 
 
 def submission_envelope(
@@ -133,6 +138,7 @@ def submission_batch_envelope(
     entry_servers: Dict[int, str],
     upload_round: int,
     cover: bool = False,
+    part: Optional[int] = None,
 ) -> Envelope:
     """Frame one chain's whole submission batch for its entry server.
 
@@ -140,7 +146,9 @@ def submission_batch_envelope(
     (chain, entry-server) link and round instead of one per user.  As with
     :func:`submission_envelope`, ``upload_round`` is the round the bytes
     cross the uplink in — for banked covers that is one round before the
-    round the contents were built for (§5.3.3).
+    round the contents were built for (§5.3.3).  Under the streaming
+    pipeline ``part`` carries the chunk index — one framed message per
+    (chain, chunk) instead of per chain.
     """
     if chain_id not in entry_servers:
         raise ConfigurationError(f"no entry server for chain {chain_id}")
@@ -151,4 +159,5 @@ def submission_batch_envelope(
         round_number=upload_round,
         payload=list(submissions),
         chain_id=chain_id,
+        part=part,
     )

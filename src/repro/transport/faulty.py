@@ -37,7 +37,7 @@ what parity is measured on).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import FrozenSet, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -195,27 +195,15 @@ class FaultyTransport(Transport):
                 payload = list(envelope.payload)
                 if payload:
                     payload.append(payload[fault.index % len(payload)])
-                    envelope = Envelope(
-                        kind=envelope.kind,
-                        source=envelope.source,
-                        destination=envelope.destination,
-                        round_number=envelope.round_number,
-                        payload=payload,
-                        chain_id=envelope.chain_id,
-                    )
+                    # dataclasses.replace keeps every other field (including
+                    # the streaming pipeline's chunk index) intact.
+                    envelope = replace(envelope, payload=payload)
                     self._log(fault, envelope)
             elif fault.behaviour == REORDER:
                 payload = list(envelope.payload)
                 if len(payload) > 1:
                     self._reorder_rng(fault, envelope).shuffle(payload)
-                    envelope = Envelope(
-                        kind=envelope.kind,
-                        source=envelope.source,
-                        destination=envelope.destination,
-                        round_number=envelope.round_number,
-                        payload=payload,
-                        chain_id=envelope.chain_id,
-                    )
+                    envelope = replace(envelope, payload=payload)
                     self._log(fault, envelope)
             elif fault.behaviour == DELAY:
                 delay_total += fault.delay_seconds

@@ -1,0 +1,198 @@
+"""The streaming population pipeline (DESIGN.md §9): chunked == monolithic.
+
+Properties under test, per ISSUE 6:
+
+* **bit-identity** — for *random* chunk sizes (including 1 and larger than
+  the population) and worker counts, a chunked deployment's round reports
+  equal the monolithic batched path's, for submissions, banked covers, and
+  mailbox decryption alike (``RoundReport.canonical_bytes`` hashes all
+  three observables);
+* **chunk mechanics** — :func:`repro.population.streaming.chunk_spans`
+  partitions without loss; the forked pool propagates worker exceptions;
+  RNG cursors replay to the exact stream position;
+* **configuration** — incoherent knob combinations are rejected at
+  ``DeploymentConfig.validate`` time with actionable errors.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.errors import ConfigurationError
+from repro.population.streaming import chunk_spans
+
+NUM_USERS = 6
+
+_REFERENCE = None
+
+
+def build(**kwargs):
+    base = dict(
+        num_servers=4, num_users=NUM_USERS, num_chains=3, chain_length=2,
+        seed=77, group_kind="modp", population="batched",
+    )
+    base.update(kwargs)
+    return Deployment.create(DeploymentConfig(**base))
+
+
+def two_round_script(deployment):
+    """Conversation payloads, an offline round spending banked covers, and a
+    plain round — together touching every streamed flow (build, cover bank,
+    delivery, fetch/decrypt, §5.3.3 offline notices)."""
+    a, b = deployment.users[0].name, deployment.users[1].name
+    deployment.start_conversation(a, b)
+    return [
+        deployment.round_spec(payloads={a: b"ping", b: b"pong"}),
+        deployment.round_spec(offline_users={b}),
+        deployment.round_spec(payloads={a: b"again"}),
+    ]
+
+
+def run_script(**kwargs):
+    deployment = build(**kwargs)
+    reports = deployment.run_rounds(two_round_script(deployment))
+    fingerprints = [report.canonical_bytes() for report in reports]
+    deployment.close()
+    return fingerprints
+
+
+def reference_fingerprints():
+    global _REFERENCE
+    if _REFERENCE is None:
+        _REFERENCE = run_script()
+    return _REFERENCE
+
+
+class TestChunkSpans:
+    def test_none_is_one_monolithic_span(self):
+        assert list(chunk_spans([1, 2, 3], None)) == [[1, 2, 3]]
+        assert list(chunk_spans([], None)) == [[]]
+
+    def test_partition_is_lossless_and_ordered(self):
+        spans = list(chunk_spans(list(range(10)), 3))
+        assert spans == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_chunk_larger_than_items(self):
+        assert list(chunk_spans([1, 2], 100)) == [[1, 2]]
+
+    def test_empty_items_yield_one_empty_span(self):
+        assert list(chunk_spans([], 4)) == [[]]
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(chunk_spans([1], 0))
+
+
+class TestChunkedBitIdentity:
+    """Hypothesis: any (chunk size, worker count) is unobservable."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        chunk_size=st.integers(min_value=1, max_value=NUM_USERS + 3),
+        workers=st.integers(min_value=0, max_value=3),
+    )
+    def test_random_chunking_matches_monolithic(self, chunk_size, workers):
+        actual = run_script(
+            population_chunk_size=chunk_size, population_build_workers=workers
+        )
+        assert actual == reference_fingerprints()
+
+    def test_chunk_of_one_matches(self):
+        assert run_script(population_chunk_size=1) == reference_fingerprints()
+
+    def test_chunk_beyond_population_matches(self):
+        assert (
+            run_script(population_chunk_size=NUM_USERS + 50)
+            == reference_fingerprints()
+        )
+
+    def test_forked_single_chunk_falls_back_to_serial(self):
+        # One span → nothing to parallelise; the pool is skipped entirely.
+        assert (
+            run_script(
+                population_chunk_size=NUM_USERS + 1, population_build_workers=4
+            )
+            == reference_fingerprints()
+        )
+
+    def test_more_workers_than_chunks_matches(self):
+        assert (
+            run_script(population_chunk_size=4, population_build_workers=8)
+            == reference_fingerprints()
+        )
+
+
+class TestForkedPool:
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs POSIX fork")
+    def test_worker_exception_propagates_to_parent(self, monkeypatch):
+        deployment = build(population_chunk_size=2, population_build_workers=2)
+        population = deployment.population
+
+        original = population.build_round_submissions_batch
+
+        def explode(round_number, chain_keys, users, **kwargs):
+            if kwargs.get("cover"):
+                return original(round_number, chain_keys, users, **kwargs)
+            raise RuntimeError("chunk build exploded")
+
+        # Patched before the fork, so the failure happens inside a worker
+        # and must cross the pipe as a framed error.
+        monkeypatch.setattr(population, "build_round_submissions_batch", explode)
+        with pytest.raises(RuntimeError, match="chunk build exploded"):
+            deployment.run_round()
+        deployment.close()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs POSIX fork")
+    def test_rng_cursor_replay_is_exact(self):
+        """After a forked round, every seeded user RNG sits exactly where the
+        monolithic build would have left it (getstate comparison — stronger
+        than report parity)."""
+        forked = build(population_chunk_size=2, population_build_workers=3)
+        monolithic = build()
+        forked.run_round()
+        monolithic.run_round()
+        for left, right in zip(forked.users, monolithic.users):
+            assert left._rng is not None
+            assert left._rng.getstate() == right._rng.getstate()
+        forked.close()
+        monolithic.close()
+
+
+class TestStreamingConfiguration:
+    def test_chunk_size_requires_batched_population(self):
+        with pytest.raises(ConfigurationError, match="population='batched'"):
+            DeploymentConfig(population="object", population_chunk_size=100).validate()
+
+    def test_workers_require_batched_population(self):
+        with pytest.raises(ConfigurationError, match="population='batched'"):
+            DeploymentConfig(population="object", population_build_workers=2).validate()
+
+    def test_workers_require_chunk_size(self):
+        with pytest.raises(ConfigurationError, match="population_chunk_size"):
+            DeploymentConfig(
+                population="batched", population_build_workers=2
+            ).validate()
+
+    def test_nonpositive_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            DeploymentConfig(
+                population="batched", population_chunk_size=0
+            ).validate()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            DeploymentConfig(
+                population="batched",
+                population_chunk_size=10,
+                population_build_workers=-1,
+            ).validate()
+
+    def test_coherent_streaming_config_accepted(self):
+        DeploymentConfig(
+            population="batched",
+            population_chunk_size=10,
+            population_build_workers=2,
+        ).validate()
