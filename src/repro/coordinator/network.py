@@ -50,9 +50,17 @@ from repro.engine import (
 from repro.errors import ConfigurationError, ProtocolError
 from repro.mailbox import MailboxHub
 from repro.mixnet.ahs import ChainMember, MixChain
-from repro.population import UserPopulation
+import repro.population  # noqa: F401 - registers the population factories
 from repro.mixnet.chain import ChainTopology, form_chains, required_chain_length
 from repro.mixnet.messages import ClientSubmission
+from repro.registry import (
+    EXECUTION_BACKENDS,
+    POPULATIONS,
+    TRANSPORTS,
+    ExecutionBackendKind,
+    PopulationKind,
+    TransportKind,
+)
 from repro.transport import Transport, make_transport
 
 __all__ = [
@@ -97,24 +105,33 @@ class DeploymentConfig:
     use_cover_messages: bool = True
     group_kind: str = "ed25519"
     modp_bits: int = 96
-    #: How the mix stage executes the per-chain work: ``"serial"`` (default,
-    #: reference semantics), ``"parallel"`` (chains on a thread pool), or
-    #: ``"multiprocess"`` (chains forked to worker processes that ship their
-    #: round results back as wire bytes — escapes the GIL).
-    execution_backend: str = "serial"
+    #: How the mix stage executes the per-chain work: a typed
+    #: :class:`~repro.registry.ExecutionBackendKind` — ``SERIAL`` (default,
+    #: reference semantics), ``PARALLEL`` (chains on a thread pool), or
+    #: ``MULTIPROCESS`` (chains forked to worker processes that ship their
+    #: round results back as wire bytes — escapes the GIL) — or the name of
+    #: a backend registered in :data:`repro.registry.EXECUTION_BACKENDS`.
+    #: Plain built-in strings still work through a deprecation shim.
+    execution_backend: Union[str, ExecutionBackendKind] = ExecutionBackendKind.SERIAL
     #: Worker cap for the parallel/multiprocess backends (``None`` → CPU count).
     max_workers: Optional[int] = None
-    #: How cross-node messages travel: ``"inproc"`` (default, reference
-    #: semantics — delivery is a hand-off) or ``"instrumented"`` (every
-    #: envelope is serialised to its real wire encoding and accounted in a
-    #: traffic ledger; observable behaviour is bit-identical).
-    transport: str = "inproc"
-    #: How the honest user side executes: ``"object"`` (default — one
+    #: How cross-node messages travel: a typed
+    #: :class:`~repro.registry.TransportKind` — ``INPROC`` (default,
+    #: reference semantics — delivery is a hand-off), ``INSTRUMENTED``
+    #: (every envelope is serialised to its real wire encoding and accounted
+    #: in a traffic ledger; observable behaviour is bit-identical), or
+    #: ``TCP`` (the wire encoding crosses a real loopback socket and is
+    #: parsed back — DESIGN.md §10; process-per-role deployments are wired
+    #: by :mod:`repro.runner` instead of this knob) — or the name of a
+    #: transport registered in :data:`repro.registry.TRANSPORTS`.
+    transport: Union[str, TransportKind] = TransportKind.INPROC
+    #: How the honest user side executes: a typed
+    #: :class:`~repro.registry.PopulationKind` — ``OBJECT`` (default — one
     #: :class:`~repro.client.user.User` at a time, the reference semantics)
-    #: or ``"batched"`` (a :class:`~repro.population.UserPopulation` builds
+    #: or ``BATCHED`` (a :class:`~repro.population.UserPopulation` builds
     #: and fetches whole chains at once over framed batch envelopes;
-    #: bit-identical, DESIGN.md §7).
-    population: str = "object"
+    #: bit-identical, DESIGN.md §7) — or a registered population name.
+    population: Union[str, PopulationKind] = PopulationKind.OBJECT
     #: Whether the engine runs the AHS precompute stage (§5.2.1 / DESIGN.md
     #: §8): the chains' public-key work (DH blinding, outer-layer key
     #: derivation) executes ahead of the online mix phase — overlapped with
@@ -135,6 +152,17 @@ class DeploymentConfig:
     #: which replays the draws so determinism is preserved.  Requires
     #: ``population_chunk_size`` (and therefore ``population="batched"``).
     population_build_workers: int = 0
+
+    def __post_init__(self) -> None:
+        # The deprecation shim: plain built-in strings are coerced to their
+        # typed enum members (with one DeprecationWarning); strings naming
+        # registered external components pass through untouched.  Unknown
+        # names also pass through here — validate() is the loud gate.
+        self.execution_backend = EXECUTION_BACKENDS.coerce(
+            self.execution_backend, field="execution_backend"
+        )
+        self.transport = TRANSPORTS.coerce(self.transport, field="transport")
+        self.population = POPULATIONS.coerce(self.population, field="population")
 
     def resolved_num_chains(self) -> int:
         return self.num_chains if self.num_chains is not None else self.num_servers
@@ -160,16 +188,11 @@ class DeploymentConfig:
             raise ConfigurationError("malicious fraction must be in [0, 1)")
         if self.group_kind not in ("ed25519", "modp"):
             raise ConfigurationError("group_kind must be 'ed25519' or 'modp'")
-        if self.execution_backend not in ("serial", "parallel", "multiprocess"):
-            raise ConfigurationError(
-                "execution_backend must be 'serial', 'parallel', or 'multiprocess'"
-            )
+        EXECUTION_BACKENDS.ensure_known(self.execution_backend, field="execution_backend")
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError("max_workers must be positive when set")
-        if self.transport not in ("inproc", "instrumented"):
-            raise ConfigurationError("transport must be 'inproc' or 'instrumented'")
-        if self.population not in ("object", "batched"):
-            raise ConfigurationError("population must be 'object' or 'batched'")
+        TRANSPORTS.ensure_known(self.transport, field="transport")
+        POPULATIONS.ensure_known(self.population, field="population")
         if self.population_chunk_size is not None and self.population_chunk_size < 1:
             raise ConfigurationError("population_chunk_size must be positive when set")
         if self.population_build_workers < 0:
@@ -261,10 +284,8 @@ class Deployment:
         #: per-user object path).  Chain assignments derive from public keys
         #: alone, so the views survive churn recovery and chain re-formation
         #: unchanged; per-round key material is always passed in fresh.
-        self.population = (
-            UserPopulation(group, users, len(chains))
-            if config.population == "batched"
-            else None
+        self.population = POPULATIONS.create(
+            config.population, group=group, users=users, num_chains=len(chains)
         )
         self.next_round = 1
         self._users_by_name = {user.name: user for user in users}
@@ -278,9 +299,24 @@ class Deployment:
         #: :meth:`recover` — ``(round_number, chain_id, server_names)``.
         self._pending_recoveries: List[tuple] = []
         self._reform_counts: Dict[int, int] = {}
+        #: When set (by the distributed runner), the engine's mix stage
+        #: dispatches each chain's round as an RPC to the owning mix process
+        #: instead of running it through the local execution backend.
+        self.remote_mix = None
+        self._check_fork_safety(self.transport)
         self.engine = RoundEngine(
             self, backend=make_backend(config.execution_backend, config.max_workers)
         )
+
+    def _check_fork_safety(self, transport: Transport) -> None:
+        """A forked mix worker cannot inherit live sockets or event loops."""
+        if not transport.fork_safe and (
+            self.config.execution_backend == ExecutionBackendKind.MULTIPROCESS
+        ):
+            raise ConfigurationError(
+                f"transport {transport.name!r} is not fork-safe and cannot be "
+                "combined with the multiprocess execution backend"
+            )
 
     # -- construction -----------------------------------------------------------
 
@@ -656,6 +692,7 @@ class Deployment:
         :class:`~repro.transport.faulty.FaultyTransport`) and will keep
         delegating to it.
         """
+        self._check_fork_safety(transport)
         old = self.transport
         self.transport = transport
         for chain in self.chains:
@@ -676,3 +713,9 @@ class Deployment:
         """
         self.engine.close()
         self.transport.close()
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.registry import EXECUTION_BACKENDS, ExecutionBackendKind
 
 __all__ = ["ExecutionBackend", "SerialBackend", "ParallelBackend", "make_backend"]
 
@@ -124,14 +125,27 @@ class ParallelBackend(ExecutionBackend):
             self._executor = None
 
 
-def make_backend(kind: str, max_workers: Optional[int] = None) -> ExecutionBackend:
-    """Build a backend from a :class:`DeploymentConfig`-style name."""
-    if kind == "serial":
-        return SerialBackend()
-    if kind == "parallel":
-        return ParallelBackend(max_workers=max_workers)
-    if kind == "multiprocess":
-        from repro.engine.multiprocess import MultiprocessBackend  # avoid an import cycle
+def _make_serial(max_workers: Optional[int] = None) -> ExecutionBackend:
+    return SerialBackend()
 
-        return MultiprocessBackend(max_workers=max_workers)
-    raise ConfigurationError(f"unknown execution backend {kind!r}")
+
+def _make_parallel(max_workers: Optional[int] = None) -> ExecutionBackend:
+    return ParallelBackend(max_workers=max_workers)
+
+
+def _make_multiprocess(max_workers: Optional[int] = None) -> ExecutionBackend:
+    from repro.engine.multiprocess import MultiprocessBackend  # avoid an import cycle
+
+    return MultiprocessBackend(max_workers=max_workers)
+
+
+if not EXECUTION_BACKENDS.is_known(ExecutionBackendKind.SERIAL):  # tolerate re-import
+    EXECUTION_BACKENDS.register(ExecutionBackendKind.SERIAL, _make_serial)
+    EXECUTION_BACKENDS.register(ExecutionBackendKind.PARALLEL, _make_parallel)
+    EXECUTION_BACKENDS.register(ExecutionBackendKind.MULTIPROCESS, _make_multiprocess)
+
+
+def make_backend(kind, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Build a backend from a :class:`~repro.registry.ExecutionBackendKind`
+    (or a registered name) via the component registry."""
+    return EXECUTION_BACKENDS.create(kind, max_workers=max_workers)

@@ -375,6 +375,10 @@ class RoundEngine:
         """
         if not self.deployment.config.precompute:
             return
+        if self.deployment.remote_mix is not None:
+            # The owning mix processes precompute on their own replicas as
+            # part of the MIX RPC; the coordinator's members never mix.
+            return
         self._precompute_batches(ctx, ctx.per_chain)
 
     def precompute_collected(self, ctx: RoundContext) -> None:
@@ -389,6 +393,8 @@ class RoundEngine:
         post-finalize :meth:`precompute` tops those up.
         """
         if not self.deployment.config.precompute:
+            return
+        if self.deployment.remote_mix is not None:
             return
         per_chain: Dict[int, list] = {}
         self._fold_user_submissions(ctx, per_chain, strict=False)
@@ -412,7 +418,10 @@ class RoundEngine:
             return ChainOutcome(chain_id=chain.chain_id, accept_rejected=rejected, result=result)
 
         started = time.perf_counter()
-        outcomes = self.backend.map_chains(run_chain, self.deployment.chains)
+        if self.deployment.remote_mix is not None:
+            outcomes = self.deployment.remote_mix.mix_round(ctx)
+        else:
+            outcomes = self.backend.map_chains(run_chain, self.deployment.chains)
         ctx.report.stage_seconds["mix"] = time.perf_counter() - started
         ctx.chain_outcomes = {outcome.chain_id: outcome for outcome in outcomes}
 

@@ -54,5 +54,10 @@ class MailboxError(XRDError):
     """A mailbox operation referenced an unknown mailbox or malformed data."""
 
 
+class TransportError(XRDError):
+    """A transport could not carry a message (peer unreachable, rejected
+    handshake, connection lost, or the transport was already closed)."""
+
+
 class SimulationError(XRDError):
     """The analytic/Monte-Carlo simulation was configured inconsistently."""

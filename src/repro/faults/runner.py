@@ -44,7 +44,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.stages import RoundReport
     from repro.mixnet.blame import BlameVerdict
 
-__all__ = ["RoundOutcome", "ScenarioReport", "ScenarioRunner"]
+__all__ = ["RoundOutcome", "ScenarioReport", "ScenarioRunner", "server_fault_rng"]
+
+
+def server_fault_rng(seed: int, fault: ServerFault) -> random.Random:
+    """The adversarial stream for one server fault, derived from the *plan*.
+
+    Module-level because the distributed runner must derive the identical
+    stream on the mix process that owns the tampering server: the coordinator
+    broadcasts only the plan seed and the fault's identity, and both sides
+    seed from ``(seed, fault)`` exactly the same way.
+    """
+    return random.Random(
+        (seed << 48)
+        ^ (fault.round_number << 32)
+        ^ (fault.chain_id << 16)
+        ^ (fault.position << 8)
+        ^ 0xA5
+    )
 
 
 @dataclass
@@ -145,23 +162,27 @@ class ScenarioRunner:
     """Runs one fault plan against one deployment, segment by segment."""
 
     def __init__(
-        self, deployment: "Deployment", plan: FaultPlan, staggered: bool = False
+        self,
+        deployment: "Deployment",
+        plan: FaultPlan,
+        staggered: bool = False,
+        control=None,
     ) -> None:
         plan.validate()
         self.deployment = deployment
         self.plan = plan
         self.staggered = staggered
+        #: Optional distributed-control hook (``repro.runner.remote``): told
+        #: about fault installation and impending recovery so remote role
+        #: replicas mirror the coordinator's state transitions.  ``None``
+        #: in-process — the hooks are the *only* difference between the two
+        #: code paths, which is what makes distributed parity by construction.
+        self.control = control
 
     # -- deterministic adversarial randomness ---------------------------------
 
     def _server_fault_rng(self, fault: ServerFault) -> random.Random:
-        return random.Random(
-            (self.plan.seed << 48)
-            ^ (fault.round_number << 32)
-            ^ (fault.chain_id << 16)
-            ^ (fault.position << 8)
-            ^ 0xA5
-        )
+        return server_fault_rng(self.plan.seed, fault)
 
     def _user_fault_rng(self, fault: UserFault) -> random.Random:
         return random.Random(
@@ -251,6 +272,10 @@ class ScenarioRunner:
         for segment_start, segment_end in plan.segments():
             for fault in plan.server_faults:
                 if segment_start <= fault.round_number <= segment_end:
+                    if self.control is not None:
+                        self.control.install_server_fault(
+                            fault, offset + fault.round_number
+                        )
                     install_tampering_server(
                         deployment,
                         fault.chain_id,
@@ -283,6 +308,8 @@ class ScenarioRunner:
             for round_report in deployment.run_rounds(specs, staggered=self.staggered):
                 report.rounds.append(self._outcome(round_report))
             if plan.recover:
+                if self.control is not None:
+                    self.control.before_recover(deployment)
                 report.recoveries.extend(deployment.recover())
         # The plan's faults are scoped to its run: a deployment used after
         # the scenario must not keep dropping/replaying envelopes.

@@ -15,5 +15,20 @@ pool — so peak memory is O(chunk) instead of O(users).
 
 from repro.population.population import UserPopulation
 from repro.population.streaming import BuiltChunk, built_chunks, chunk_spans
+from repro.registry import POPULATIONS, PopulationKind
 
 __all__ = ["UserPopulation", "BuiltChunk", "built_chunks", "chunk_spans"]
+
+
+def _make_object_population(group=None, users=None, num_chains=None):
+    # The per-user reference path keeps no population object at all.
+    return None
+
+
+def _make_batched_population(group=None, users=None, num_chains=None):
+    return UserPopulation(group, users, num_chains)
+
+
+if not POPULATIONS.is_known(PopulationKind.OBJECT):  # tolerate module re-import
+    POPULATIONS.register(PopulationKind.OBJECT, _make_object_population)
+    POPULATIONS.register(PopulationKind.BATCHED, _make_batched_population)

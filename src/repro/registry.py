@@ -1,0 +1,168 @@
+"""Typed pluggable-component registry (DESIGN.md §10.1).
+
+The deployment's three pluggable seams — the transport, the mix-stage
+execution backend, and the user-population strategy — used to be selected by
+bare strings on :class:`~repro.coordinator.network.DeploymentConfig`.  Each
+new component meant another string compared in another ``if`` ladder; the
+KISS principle the control-plane literature argues for (PAPERS.md) is the
+opposite: a small, explicit, *typed* contract.
+
+This module provides that contract:
+
+* one :class:`enum.Enum` per seam (:class:`TransportKind`,
+  :class:`ExecutionBackendKind`, :class:`PopulationKind`) naming the
+  built-in components.  The enums subclass :class:`str`, so existing code
+  comparing ``config.transport == "inproc"`` keeps working unchanged;
+* one :class:`ComponentRegistry` per seam mapping keys to factory
+  callables.  Built-ins register here too — ``make_transport`` and
+  ``make_backend`` are thin wrappers over :meth:`ComponentRegistry.create`
+  — and third-party components register under their own string keys
+  (``TRANSPORTS.register("quic", factory)``) without touching this package;
+* a deprecation shim: a plain built-in string assigned to a config knob is
+  coerced to its enum member with a single :class:`DeprecationWarning`, so
+  every pre-existing call site still works while new code gets the typed
+  surface.
+
+Registration happens in the module that owns the component (the transport
+package registers the transports, and so on), so importing a component's
+home package is what makes it available — there is no central import list
+to maintain.
+"""
+
+from __future__ import annotations
+
+import warnings
+from enum import Enum
+from typing import Callable, Dict, List, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TransportKind",
+    "ExecutionBackendKind",
+    "PopulationKind",
+    "ComponentRegistry",
+    "TRANSPORTS",
+    "EXECUTION_BACKENDS",
+    "POPULATIONS",
+]
+
+
+class TransportKind(str, Enum):
+    """How cross-node envelopes travel (DESIGN.md §5, §10)."""
+
+    INPROC = "inproc"
+    INSTRUMENTED = "instrumented"
+    TCP = "tcp"
+
+
+class ExecutionBackendKind(str, Enum):
+    """How the mix stage executes the per-chain work (DESIGN.md §2.2)."""
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+    MULTIPROCESS = "multiprocess"
+
+
+class PopulationKind(str, Enum):
+    """How the honest user side executes (DESIGN.md §7)."""
+
+    OBJECT = "object"
+    BATCHED = "batched"
+
+
+#: A config knob value: the typed enum member, or (deprecated / third-party)
+#: a plain string key.
+ComponentKey = Union[str, Enum]
+
+
+class ComponentRegistry:
+    """Factories for one pluggable seam, keyed by enum member or string."""
+
+    def __init__(self, domain: str, kind_enum) -> None:
+        self.domain = domain
+        self.kind_enum = kind_enum
+        self._factories: Dict[str, Callable] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, key: ComponentKey, factory: Callable, replace: bool = False) -> None:
+        """Register ``factory`` under ``key`` (an enum member or a new name).
+
+        Built-in components register under their enum member; external
+        components register under any unused string.  Re-registration is an
+        error unless ``replace=True`` — silently shadowing a component is
+        exactly the kind of spooky action a typed registry exists to stop.
+        """
+        name = str(key.value) if isinstance(key, Enum) else str(key)
+        if not replace and name in self._factories:
+            raise ConfigurationError(
+                f"{self.domain} component {name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        if not callable(factory):
+            raise ConfigurationError(f"{self.domain} factory for {name!r} is not callable")
+        self._factories[name] = factory
+
+    def keys(self) -> List[str]:
+        """Every registered key, built-ins first (registration order)."""
+        return list(self._factories)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _name_of(self, key: ComponentKey) -> str:
+        return str(key.value) if isinstance(key, Enum) else str(key)
+
+    def is_known(self, key: ComponentKey) -> bool:
+        return self._name_of(key) in self._factories
+
+    def coerce(self, value: ComponentKey, field: str) -> ComponentKey:
+        """Normalise a config knob value to its typed form.
+
+        Enum members pass through; a plain string naming a built-in is
+        converted to the enum member with one :class:`DeprecationWarning`;
+        any other string is returned unchanged (it may name a registered
+        external component — :meth:`ensure_known` is the validation gate).
+        """
+        if isinstance(value, self.kind_enum):
+            return value
+        if isinstance(value, str):
+            try:
+                member = self.kind_enum(value)
+            except ValueError:
+                return value
+            warnings.warn(
+                f"passing the plain string {value!r} for DeploymentConfig."
+                f"{field} is deprecated; use {self.kind_enum.__name__}."
+                f"{member.name} (repro.registry)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return member
+        return value
+
+    def ensure_known(self, value: ComponentKey, field: str) -> None:
+        """Raise :class:`ConfigurationError` unless ``value`` is resolvable."""
+        if isinstance(value, self.kind_enum):
+            return
+        if isinstance(value, str) and self.is_known(value):
+            return
+        raise ConfigurationError(
+            f"{field} must be a {self.kind_enum.__name__} or a registered "
+            f"{self.domain} name (one of {self.keys()}), got {value!r}"
+        )
+
+    def create(self, key: ComponentKey, **kwargs):
+        """Instantiate the component registered under ``key``."""
+        name = self._name_of(key)
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown {self.domain} {name!r} (registered: {self.keys()})"
+            )
+        return factory(**kwargs)
+
+
+TRANSPORTS = ComponentRegistry("transport", TransportKind)
+EXECUTION_BACKENDS = ComponentRegistry("execution backend", ExecutionBackendKind)
+POPULATIONS = ComponentRegistry("population", PopulationKind)

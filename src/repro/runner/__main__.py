@@ -1,0 +1,117 @@
+"""Launch CLI for the distributed runtime: ``python -m repro.runner``.
+
+One process per role::
+
+    python -m repro.runner --role mix --name mix-0 --config config.json
+    python -m repro.runner --role mailbox --name mbx-0 --config config.json
+    python -m repro.runner --role coordinator --config config.json \\
+        --spec plan.json --peers peers.json --report report.json
+
+Role processes bind an ephemeral localhost port (override with ``--listen``),
+print ``XRD-RUNNER-READY <name> <host> <port>`` on stdout, and serve until
+the coordinator broadcasts ``SHUTDOWN``.  The coordinator reads the peer map
+collected by whatever launched the roles, drives the fault plan to
+completion, and writes/prints the scenario summary.
+
+The all-in-one launcher spawns roles, coordinator, and wiring in one go::
+
+    python -m repro.runner --role all --config config.json --spec plan.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runner import protocol
+from repro.runner.harness import READY_PREFIX, run_coordinator, run_localhost
+from repro.runner.roles import RoleNode
+
+__all__ = ["main"]
+
+
+def _parse_listen(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host:
+        raise ConfigurationError(f"--listen takes HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _load_json(path: str):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Run one role of a distributed XRD deployment.",
+    )
+    parser.add_argument(
+        "--role", required=True, choices=["mix", "mailbox", "coordinator", "all"]
+    )
+    parser.add_argument("--name", default=None, help="this role's peer name")
+    parser.add_argument(
+        "--config", required=True, help="deployment config JSON (see runner.protocol)"
+    )
+    parser.add_argument("--spec", default=None, help="fault-plan JSON to execute")
+    parser.add_argument("--peers", default=None, help="peer/owner map JSON")
+    parser.add_argument("--listen", default="127.0.0.1:0", help="HOST:PORT to bind")
+    parser.add_argument("--report", default=None, help="write the scenario summary here")
+    parser.add_argument("--staggered", action="store_true", help="pipeline rounds (§5.2.2)")
+    parser.add_argument("--num-mix", type=int, default=2, help="mix roles for --role all")
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="overall deadline for --role all"
+    )
+    args = parser.parse_args(argv)
+    config = protocol.config_from_dict(_load_json(args.config))
+
+    if args.role in ("mix", "mailbox"):
+        name = args.name or (f"{args.role}-0" if args.role == "mix" else "mbx-0")
+        host, port = _parse_listen(args.listen)
+        node = RoleNode(name, config, args.role, listen_host=host, listen_port=port)
+        try:
+            bound_host, bound_port = node.address
+            print(f"{READY_PREFIX} {name} {bound_host} {bound_port}", flush=True)
+            node.wait_for_shutdown()
+        finally:
+            node.close()
+        return 0
+
+    if args.spec is None:
+        parser.error(f"--role {args.role} needs --spec")
+    plan = protocol.plan_from_dict(_load_json(args.spec))
+
+    if args.role == "coordinator":
+        if args.peers is None:
+            parser.error("--role coordinator needs --peers")
+        wiring = _load_json(args.peers)
+        peers = {
+            name: (address[0], int(address[1]))
+            for name, address in wiring["peers"].items()
+        }
+        report = run_coordinator(
+            config, plan, peers, wiring["owners"], staggered=args.staggered
+        )
+        summary = protocol.scenario_summary(report)
+    else:  # all
+        summary = run_localhost(
+            config,
+            plan,
+            num_mix=args.num_mix,
+            timeout=args.timeout,
+            staggered=args.staggered,
+            keep_report=args.report,
+        )
+    if args.role == "coordinator" and args.report is not None:
+        with open(args.report, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    print(json.dumps(summary, indent=2, sort_keys=True), flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - process entry point
+    sys.exit(main())

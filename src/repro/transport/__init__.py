@@ -1,4 +1,4 @@
-"""The message-passing transport layer (DESIGN.md §5).
+"""The message-passing transport layer (DESIGN.md §5, §10).
 
 Every cross-node interaction of the deployment — client→entry-server
 submission, server→server batch flow inside a chain, chain→mailbox
@@ -12,13 +12,23 @@ delivery, and the user's mailbox fetch — travels as a typed
   wire encoding, accounts bytes and modelled per-link latency in a
   :class:`TrafficLedger`, and delivers the *decoded* payload, proving the
   codecs lossless.
+* :class:`~repro.transport.tcp.TcpTransport` — sends the wire encoding
+  over real TCP sockets as length-prefixed frames
+  (:mod:`repro.transport.frames`); the process-per-role runner
+  (:mod:`repro.runner`) deploys it across OS processes, and the standalone
+  ``transport="tcp"`` knob runs it against a loopback reflector.
 
 The mix stage's :class:`~repro.engine.multiprocess.MultiprocessBackend`
 uses the same wire codecs (:mod:`repro.transport.codec`) to ship per-chain
 round state across process boundaries.
+
+Transports are registered in the typed component registry
+(:data:`repro.registry.TRANSPORTS`); :func:`make_transport` is a thin
+wrapper over it, and external transports register there without touching
+this package.
 """
 
-from repro.errors import ConfigurationError
+from repro.registry import TRANSPORTS, TransportKind
 from repro.transport.base import Transport
 from repro.transport.envelope import (
     BATCH,
@@ -59,12 +69,35 @@ __all__ = [
 ]
 
 
-def make_transport(kind: str, group=None, cost_model=None) -> Transport:
-    """Build a transport from a :class:`DeploymentConfig`-style name."""
-    if kind == "inproc":
-        return InProcTransport()
-    if kind == "instrumented":
-        if group is None:
-            raise ConfigurationError("the instrumented transport needs the deployment's group")
-        return InstrumentedTransport(group, cost_model=cost_model)
-    raise ConfigurationError(f"unknown transport {kind!r}")
+def _make_inproc(group=None, cost_model=None) -> Transport:
+    return InProcTransport()
+
+
+def _make_instrumented(group=None, cost_model=None) -> Transport:
+    from repro.errors import ConfigurationError
+
+    if group is None:
+        raise ConfigurationError("the instrumented transport needs the deployment's group")
+    return InstrumentedTransport(group, cost_model=cost_model)
+
+
+def _make_tcp(group=None, cost_model=None) -> Transport:
+    """The standalone knob: a loopback reflector in this process."""
+    from repro.errors import ConfigurationError
+    from repro.transport.tcp import TcpTransport
+
+    if group is None:
+        raise ConfigurationError("the tcp transport needs the deployment's group")
+    return TcpTransport(group, node_name="loopback")
+
+
+if not TRANSPORTS.is_known(TransportKind.INPROC):  # tolerate module re-import
+    TRANSPORTS.register(TransportKind.INPROC, _make_inproc)
+    TRANSPORTS.register(TransportKind.INSTRUMENTED, _make_instrumented)
+    TRANSPORTS.register(TransportKind.TCP, _make_tcp)
+
+
+def make_transport(kind, group=None, cost_model=None) -> Transport:
+    """Build a transport from a :class:`~repro.registry.TransportKind` (or a
+    registered name) via the component registry."""
+    return TRANSPORTS.create(kind, group=group, cost_model=cost_model)

@@ -17,28 +17,59 @@ Implementations differ only in what happens on the way:
   modelled link latency, and returns a payload *decoded from those bytes* —
   so its parity with the in-process transport is also a proof that every
   codec round-trips losslessly.
+* :class:`~repro.transport.tcp.TcpTransport` sends the wire encoding over a
+  real localhost/network socket and returns the payload decoded from the
+  peer's framed reply (DESIGN.md §10).
 
-A transport must be safe to call from multiple threads (the parallel
-backend mixes chains concurrently and the staggered scheduler overlaps
-collect with mix) and must tolerate being inherited across ``fork`` by the
-multiprocess backend.
+The contract is an ABC with an explicit capability surface, enforced for
+every implementation by the shared suite in
+``tests/test_transport_contract.py``:
+
+* ``deliver`` (abstract) must be safe to call from multiple threads — the
+  parallel backend mixes chains concurrently and the staggered scheduler
+  overlaps collect with mix;
+* ``deliver_many`` is an optional batch hook: the default loops over
+  ``deliver``, and an implementation may override it to pipeline the
+  round-trips, but the results must be element-wise identical to the loop;
+* ``close`` must be idempotent, and delivery after ``close`` may fail but
+  must never hang;
+* ``fork_safe`` declares whether the transport tolerates being inherited
+  across ``fork`` (the multiprocess backend and the streaming population's
+  build workers fork with the transport reachable).  In-memory transports
+  are; a transport holding an event loop and live sockets is not, and the
+  deployment refuses to combine one with a forking backend.
 """
 
 from __future__ import annotations
+
+import abc
+from typing import List, Sequence
 
 from repro.transport.envelope import Envelope
 
 __all__ = ["Transport"]
 
 
-class Transport:
+class Transport(abc.ABC):
     """Carries envelopes between the deployment's nodes."""
 
     name: str = "abstract"
 
+    #: Whether this transport survives being inherited across ``fork``.
+    fork_safe: bool = True
+
+    @abc.abstractmethod
     def deliver(self, envelope: Envelope) -> object:
         """Carry ``envelope`` across its link; return the payload received."""
-        raise NotImplementedError
+
+    def deliver_many(self, envelopes: Sequence[Envelope]) -> List[object]:
+        """Deliver several envelopes; same results, same order, as the loop.
+
+        The default is the loop.  An implementation with real per-message
+        latency (TCP) may override this to keep several requests in flight,
+        but the observable results must stay element-wise identical.
+        """
+        return [self.deliver(envelope) for envelope in envelopes]
 
     def close(self) -> None:
         """Release any transport resources; idempotent."""

@@ -155,6 +155,8 @@ class FaultyTransport(Transport):
         self.inner = inner
         self.faults: List[LinkFault] = list(faults)
         self.applied: List[AppliedFault] = []
+        # A wrapper is exactly as fork-tolerant as what it delegates to.
+        self.fork_safe = inner.fork_safe
 
     @property
     def ledger(self):

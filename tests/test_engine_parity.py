@@ -738,3 +738,49 @@ class TestBackendConfiguration:
         scheduler = StaggeredScheduler.for_deployment(deployment)
         reports = scheduler.run_rounds([deployment.round_spec(), deployment.round_spec()])
         assert [report.round_number for report in reports] == [1, 2]
+
+
+@pytest.mark.distributed
+class TestDistributedParity:
+    """The localhost-tcp cell of the parity matrix (DESIGN.md §10.5).
+
+    A real process-per-role deployment — coordinator, two mix roles, one
+    mailbox role, four OS processes — runs the acceptance scenario
+    (tamper at round 2, blame, recovery) and its RoundReports must be
+    bit-identical to the ordinary in-process reference.  This is the one
+    test where "the network is unobservable" means actual sockets between
+    actual processes, not an in-process stand-in.
+    """
+
+    def test_localhost_tcp_matches_inproc_reference(self):
+        from repro.faults.runner import ScenarioRunner
+        from repro.faults.scenarios import tamper_and_recover
+        from repro.runner import protocol
+        from repro.runner.harness import run_localhost
+
+        config = DeploymentConfig(
+            num_servers=4,
+            num_users=6,
+            num_chains=3,
+            chain_length=2,
+            seed=42,
+            group_kind="modp",
+            max_workers=2,
+        )
+        plan = tamper_and_recover()
+
+        reference_deployment = Deployment.create(config)
+        try:
+            reference = ScenarioRunner(reference_deployment, plan).run()
+        finally:
+            reference_deployment.close()
+        expected = protocol.scenario_summary(reference)
+
+        summary = run_localhost(config, plan, num_mix=2, timeout=240.0)
+
+        assert summary == expected
+        assert summary["canonical"] == reference.canonical_bytes().hex()
+        statuses = {entry["round"]: entry["statuses"] for entry in summary["rounds"]}
+        assert statuses[2]["0"] == "halted-blame"
+        assert summary["evicted_servers"] == ["server-0"]
+        assert summary["recoveries"], "the scenario must include a recovery round"

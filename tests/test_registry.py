@@ -1,0 +1,145 @@
+"""The typed component registry and the stringly-knob deprecation shim."""
+
+import warnings
+
+import pytest
+
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.errors import ConfigurationError
+from repro.registry import (
+    EXECUTION_BACKENDS,
+    POPULATIONS,
+    TRANSPORTS,
+    ExecutionBackendKind,
+    PopulationKind,
+    TransportKind,
+)
+from repro.transport import InProcTransport, make_transport
+
+
+def make_config(**kwargs):
+    defaults = dict(
+        num_servers=4,
+        num_users=4,
+        num_chains=2,
+        chain_length=2,
+        seed=3,
+        group_kind="modp",
+    )
+    defaults.update(kwargs)
+    return DeploymentConfig(**defaults)
+
+
+class TestEnums:
+    def test_str_subclass_equality_keeps_old_comparisons_working(self):
+        assert TransportKind.INPROC == "inproc"
+        assert ExecutionBackendKind.MULTIPROCESS == "multiprocess"
+        assert PopulationKind.BATCHED == "batched"
+        assert TransportKind.TCP.value == "tcp"
+
+    def test_builtins_are_registered(self):
+        for kind in TransportKind:
+            assert TRANSPORTS.is_known(kind)
+        for kind in ExecutionBackendKind:
+            assert EXECUTION_BACKENDS.is_known(kind)
+        for kind in PopulationKind:
+            assert POPULATIONS.is_known(kind)
+
+    def test_keys_lists_the_builtins(self):
+        assert set(k.value for k in TransportKind) <= set(TRANSPORTS.keys())
+
+
+class TestDeprecationShim:
+    def test_builtin_string_coerces_with_exactly_one_warning(self):
+        with pytest.warns(DeprecationWarning, match="TransportKind.INPROC") as caught:
+            value = TRANSPORTS.coerce("inproc", field="transport")
+        assert value is TransportKind.INPROC
+        assert len(caught) == 1
+
+    def test_stringly_config_warns_once_per_knob(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            make_config(transport="inproc")
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "transport" in str(deprecations[0].message)
+
+    def test_enum_knobs_warn_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = make_config(
+                transport=TransportKind.INPROC,
+                execution_backend=ExecutionBackendKind.SERIAL,
+                population=PopulationKind.OBJECT,
+            )
+        assert config.transport is TransportKind.INPROC
+        assert config.execution_backend is ExecutionBackendKind.SERIAL
+        assert config.population is PopulationKind.OBJECT
+
+    def test_deprecated_strings_still_build_a_working_deployment(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            config = make_config(
+                transport="inproc", execution_backend="serial", population="object"
+            )
+        deployment = Deployment.create(config)
+        report = deployment.run_round()
+        assert report.round_number == 1
+        deployment.close()
+
+    def test_unknown_string_passes_coerce_but_fails_validate(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            # Not a builtin: passes through silently (might be third-party)…
+            assert TRANSPORTS.coerce("carrier-pigeon", field="transport") == "carrier-pigeon"
+        # …but the validation gate rejects it if nothing registered it.
+        with pytest.raises(ConfigurationError, match="transport"):
+            make_config(transport="carrier-pigeon").validate()
+
+
+class TestRegistration:
+    def test_custom_component_end_to_end(self):
+        calls = []
+
+        def factory(**kwargs):
+            calls.append(kwargs)
+            return InProcTransport()
+
+        TRANSPORTS.register("test-custom-transport", factory)
+        try:
+            assert TRANSPORTS.is_known("test-custom-transport")
+            # A registered third-party name is accepted by the config with
+            # no deprecation warning (the shim only claims builtin names).
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                config = make_config(transport="test-custom-transport")
+            transport = make_transport(config.transport, group=None)
+            assert isinstance(transport, InProcTransport)
+            assert calls, "the registered factory was never invoked"
+        finally:
+            TRANSPORTS._factories.pop("test-custom-transport", None)
+
+    def test_duplicate_registration_is_refused(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            TRANSPORTS.register(TransportKind.INPROC, lambda **kwargs: None)
+
+    def test_replace_true_allows_override(self):
+        original = TRANSPORTS._factories[TransportKind.INPROC.value]
+        try:
+            TRANSPORTS.register(
+                TransportKind.INPROC, lambda **kwargs: InProcTransport(), replace=True
+            )
+        finally:
+            TRANSPORTS.register(TransportKind.INPROC, original, replace=True)
+
+    def test_non_callable_factory_is_refused(self):
+        with pytest.raises(ConfigurationError, match="not callable"):
+            TRANSPORTS.register("test-not-callable", "nope")
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown transport"):
+            TRANSPORTS.create("never-registered")
+
+    def test_ensure_known_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            EXECUTION_BACKENDS.ensure_known("never-registered", field="execution_backend")

@@ -1,0 +1,401 @@
+"""The distributed runner: control protocol, role handlers, and harness.
+
+The heavyweight test here is the in-process distributed parity run: three
+live :class:`~repro.runner.roles.RoleNode` replicas (two mix, one mailbox)
+behind real TCP listeners, driven by :func:`~repro.runner.harness.
+run_coordinator` through the acceptance scenario — tamper, blame, recovery
+— and compared bit-for-bit against the ordinary in-process
+:class:`~repro.faults.runner.ScenarioRunner`.  The subprocess flavour of
+the same comparison lives in ``tests/test_engine_parity.py`` under the
+``distributed`` marker.
+"""
+
+import io
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.errors import ConfigurationError, DecodingError, TransportError
+from repro.faults.plan import (
+    MODE_TAMPER_CIPHERTEXT,
+    USER_INVALID_PROOF,
+    FaultPlan,
+    ServerFault,
+    UserFault,
+)
+from repro.faults.runner import ScenarioRunner
+from repro.faults.scenarios import tamper_and_recover
+from repro.mixnet.messages import MailboxMessage
+from repro.registry import TransportKind
+from repro.runner import protocol
+from repro.runner.__main__ import _parse_listen, main
+from repro.runner.harness import MAILBOX_ROLE, default_owners, run_coordinator
+from repro.runner.roles import RoleNode
+from repro.transport.envelope import (
+    MAILBOX_DELIVERY,
+    MAILBOX_FETCH,
+    SUBMISSION,
+    Envelope,
+)
+from repro.transport.faulty import DROP, LinkFault
+from repro.transport.tcp import TcpTransport
+
+
+def make_config(**kwargs):
+    defaults = dict(
+        num_servers=4,
+        num_users=6,
+        num_chains=3,
+        chain_length=2,
+        seed=42,
+        group_kind="modp",
+        max_workers=2,
+    )
+    defaults.update(kwargs)
+    return DeploymentConfig(**defaults)
+
+
+class TestControlCodec:
+    def test_split_control_round_trip(self):
+        assert protocol.split_control(protocol.encode_control(protocol.OP_MIX, b"xyz")) == (
+            protocol.OP_MIX,
+            b"xyz",
+        )
+
+    def test_split_control_empty_is_rejected(self):
+        with pytest.raises(DecodingError, match="empty control body"):
+            protocol.split_control(b"")
+
+    def test_json_control_round_trip(self):
+        op, payload = protocol.split_control(
+            protocol.encode_json_control(protocol.OP_PEERS, {"b": 2, "a": 1})
+        )
+        assert op == protocol.OP_PEERS
+        assert protocol.decode_json_payload(payload) == {"a": 1, "b": 2}
+
+    def test_malformed_json_is_rejected(self):
+        with pytest.raises(DecodingError, match="malformed control JSON"):
+            protocol.decode_json_payload(b"{nope")
+        with pytest.raises(DecodingError, match="malformed control JSON"):
+            protocol.decode_json_payload(b"\xff\xfe")
+
+    def test_mix_request_round_trip(self):
+        wire = protocol.encode_mix_request(3, 17, False, b"batch-bytes")
+        assert protocol.decode_mix_request(wire) == (3, 17, False, b"batch-bytes")
+        wire = protocol.encode_mix_request(0, 1, True, b"")
+        assert protocol.decode_mix_request(wire) == (0, 1, True, b"")
+
+    def test_mix_request_truncation_is_rejected(self):
+        wire = protocol.encode_mix_request(3, 17, True, b"")
+        for cut in range(len(wire)):
+            with pytest.raises(DecodingError, match="truncated mix request"):
+                protocol.decode_mix_request(wire[:cut])
+
+
+class TestRunSpecCodec:
+    def test_config_round_trip(self):
+        config = make_config(transport=TransportKind.TCP)
+        data = json.loads(json.dumps(protocol.config_to_dict(config), sort_keys=True))
+        rebuilt = protocol.config_from_dict(data)
+        assert rebuilt == config
+        assert rebuilt.transport is TransportKind.TCP
+
+    def test_config_digest_is_stable_and_sensitive(self):
+        digest = protocol.config_digest(make_config())
+        assert digest == protocol.config_digest(make_config())
+        assert len(digest) == 32
+        assert digest != protocol.config_digest(make_config(seed=43))
+        # Enum knob and its deprecated string spelling digest identically
+        # (str-subclass enums serialise to their value).
+        assert protocol.config_digest(
+            make_config(transport=TransportKind.INPROC)
+        ) == protocol.config_digest(make_config())
+
+    def test_plan_round_trip(self):
+        plan = FaultPlan(
+            name="round-trip",
+            num_rounds=3,
+            server_faults=(
+                ServerFault(
+                    round_number=2, chain_id=1, position=0, mode=MODE_TAMPER_CIPHERTEXT
+                ),
+            ),
+            user_faults=(
+                UserFault(
+                    round_number=1, chain_id=0, sender="user-1", kind=USER_INVALID_PROOF
+                ),
+            ),
+            link_faults=(
+                LinkFault(behaviour=DROP, kind=SUBMISSION, rounds=frozenset({2, 3})),
+                LinkFault(behaviour=DROP, kind=SUBMISSION, source="user-0"),
+            ),
+            conversations=(("user-0", "user-1"),),
+            payloads={2: {"user-0": b"\x00\xffhello"}},
+            offline={3: frozenset({"user-2", "user-0"})},
+            seed=9,
+        )
+        data = json.loads(json.dumps(protocol.plan_to_dict(plan), sort_keys=True))
+        assert protocol.plan_from_dict(data) == plan
+
+    def test_acceptance_plan_survives_the_file_format(self):
+        plan = tamper_and_recover()
+        data = json.loads(json.dumps(protocol.plan_to_dict(plan), sort_keys=True))
+        assert protocol.plan_from_dict(data) == plan
+
+
+class TestScenarioSummary:
+    def test_summary_carries_the_parity_instruments(self):
+        config = make_config()
+        deployment = Deployment.create(config)
+        try:
+            report = ScenarioRunner(deployment, tamper_and_recover()).run()
+        finally:
+            deployment.close()
+        summary = protocol.scenario_summary(report)
+        assert summary["plan"] == report.plan_name
+        assert summary["canonical"] == report.canonical_bytes().hex()
+        assert len(summary["rounds"]) == len(report.rounds)
+        for outcome, entry in zip(report.rounds, summary["rounds"]):
+            assert entry["fingerprint"] == outcome.fingerprint.hex()
+            assert entry["round"] == outcome.round_number
+        assert summary["evicted_servers"] == ["server-0"]
+        assert summary["recoveries"], "the acceptance plan must trigger a recovery"
+        # The whole summary is a JSON value (the harness writes it to disk).
+        json.dumps(summary)
+
+
+class TestDefaultOwners:
+    def test_standard_localhost_layout(self):
+        config = make_config()
+        owners = default_owners(config, num_mix=2)
+        assert owners["server-0"] == "mix-0"
+        assert owners["server-1"] == "mix-1"
+        assert owners["server-2"] == "mix-0"
+        assert owners["mailbox-hub"] == MAILBOX_ROLE
+        for index in range(config.num_mailbox_servers):
+            assert owners[f"mailbox-{index}"] == MAILBOX_ROLE
+        # Users deliberately have no owner: fetch routing falls back to the
+        # envelope's source, the authoritative mailbox side.
+        assert not any(name.startswith("user-") for name in owners)
+
+    def test_at_least_one_mix_role(self):
+        with pytest.raises(ConfigurationError, match="at least one mix role"):
+            default_owners(make_config(), num_mix=0)
+
+
+class TestDeploymentContextManager:
+    def test_enter_returns_self_and_exit_closes_the_transport(self):
+        config = make_config(num_users=2, num_chains=1)
+        with Deployment.create(config) as deployment:
+            assert isinstance(deployment, Deployment)
+            transport = TcpTransport(deployment.group, node_name="ctx")
+            deployment.use_transport(transport)
+        assert transport._closed
+        with pytest.raises(TransportError, match="closed"):
+            transport.request("ctx", 3, b"")
+
+
+def in_process_cluster(config, num_mix=2):
+    """Live RoleNodes for the standard layout; returns (nodes, peers, owners)."""
+    nodes = [RoleNode(f"mix-{i}", config, "mix") for i in range(num_mix)]
+    nodes.append(RoleNode(MAILBOX_ROLE, config, "mailbox"))
+    peers = {node.name: node.address for node in nodes}
+    return nodes, peers, default_owners(config, num_mix)
+
+
+class TestDistributedInProcess:
+    def test_parity_with_the_scenario_runner_reference(self):
+        config = make_config()
+        plan = tamper_and_recover()
+
+        reference_deployment = Deployment.create(config)
+        try:
+            reference = ScenarioRunner(reference_deployment, plan).run()
+        finally:
+            reference_deployment.close()
+
+        nodes, peers, owners = in_process_cluster(config)
+        try:
+            distributed = run_coordinator(config, plan, peers, owners)
+        finally:
+            for node in nodes:
+                node.close()
+
+        assert protocol.scenario_summary(distributed) == protocol.scenario_summary(
+            reference
+        )
+        assert distributed.canonical_bytes() == reference.canonical_bytes()
+        # The plan's whole arc survived distribution: a blame round halted
+        # the tampered chain, and recovery evicted the tampering server.
+        statuses = {
+            outcome.round_number: outcome.statuses for outcome in distributed.rounds
+        }
+        assert statuses[2][0] == "halted-blame"
+        assert distributed.evicted_servers == ["server-0"]
+        # SHUTDOWN was broadcast: every role saw it.
+        for node in nodes:
+            assert node.wait_for_shutdown(timeout=5)
+
+    def test_mix_rpc_on_the_mailbox_role_is_refused_over_the_wire(self):
+        config = make_config(num_users=2, num_chains=1)
+        with RoleNode(MAILBOX_ROLE, config, "mailbox") as node:
+            client = TcpTransport(
+                node.deployment.group,
+                node_name="probe",
+                config_digest=protocol.config_digest(config),
+            )
+            try:
+                client.set_peers({MAILBOX_ROLE: node.address}, {})
+                with pytest.raises(TransportError, match="does not execute chain mixing"):
+                    client.control(
+                        MAILBOX_ROLE,
+                        protocol.encode_control(
+                            protocol.OP_MIX, protocol.encode_mix_request(0, 1, True, b"")
+                        ),
+                    )
+                with pytest.raises(TransportError, match="unknown control opcode"):
+                    client.control(MAILBOX_ROLE, protocol.encode_control(200))
+            finally:
+                client.close()
+
+    def test_mailbox_role_answers_fetches_from_its_own_state(self):
+        config = make_config(num_users=2, num_chains=1)
+        with RoleNode(MAILBOX_ROLE, config, "mailbox") as node:
+            client_deployment = Deployment.create(config)
+            client = TcpTransport(
+                client_deployment.group,
+                node_name="probe",
+                config_digest=protocol.config_digest(config),
+            )
+            try:
+                owners = {"mailbox-hub": MAILBOX_ROLE}
+                for index in range(config.num_mailbox_servers):
+                    owners[f"mailbox-{index}"] = MAILBOX_ROLE
+                client.set_peers({MAILBOX_ROLE: node.address}, owners)
+                user = client_deployment.users[0]
+                message = MailboxMessage(
+                    recipient=user.public_bytes, sealed_body=b"s" * 24
+                )
+                delivery = Envelope(
+                    kind=MAILBOX_DELIVERY,
+                    source="chain-0",
+                    destination="mailbox-hub",
+                    round_number=1,
+                    payload=[message],
+                )
+                client.deliver(delivery)
+                # The client's own hub never saw the delivery…
+                assert client_deployment.mailboxes.get(1, user.public_bytes) == []
+                # …but a fetch through the socket returns it: the reply came
+                # from the role's hub, not an echo of the request.
+                fetch = Envelope(
+                    kind=MAILBOX_FETCH,
+                    source="mailbox-hub",
+                    destination=user.name,
+                    round_number=1,
+                    payload=[],
+                )
+                assert client.deliver(fetch) == [message]
+                assert node.deployment.mailboxes.get(1, user.public_bytes) == [message]
+            finally:
+                client.close()
+                client_deployment.close()
+
+    def test_role_node_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown role kind"):
+            RoleNode("x-0", make_config(), "auditor")
+
+
+class TestLaunchCli:
+    def test_role_process_body_and_coordinator_body(self):
+        """Drive ``main()`` for both a role and the coordinator in-process.
+
+        Role bodies run on threads with preassigned ports (``sys.stdout``
+        is process-global, so the READY lines can't be read per-thread the
+        way the subprocess harness reads per-child stdout); the coordinator
+        body then drives the acceptance plan against them and its written
+        report must match the in-process reference.
+        """
+        config = make_config()
+        plan = tamper_and_recover(num_rounds=3)
+        ports = {}
+        for name in ("mix-0", "mix-1", MAILBOX_ROLE):
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            ports[name] = probe.getsockname()[1]
+            probe.close()
+        roles = [("mix-0", "mix"), ("mix-1", "mix"), (MAILBOX_ROLE, "mailbox")]
+        with tempfile.TemporaryDirectory(prefix="xrd-cli-") as workdir:
+            config_path = os.path.join(workdir, "config.json")
+            with open(config_path, "w") as handle:
+                json.dump(protocol.config_to_dict(config), handle)
+            plan_path = os.path.join(workdir, "plan.json")
+            with open(plan_path, "w") as handle:
+                json.dump(protocol.plan_to_dict(plan), handle)
+            peers_path = os.path.join(workdir, "peers.json")
+            with open(peers_path, "w") as handle:
+                json.dump(
+                    {
+                        "peers": {
+                            name: ["127.0.0.1", port] for name, port in ports.items()
+                        },
+                        "owners": default_owners(config, 2),
+                    },
+                    handle,
+                )
+            report_path = os.path.join(workdir, "report.json")
+
+            with redirect_stdout(io.StringIO()):
+                threads = []
+                for name, kind in roles:
+                    thread = threading.Thread(
+                        target=main,
+                        args=(
+                            ["--role", kind, "--name", name, "--config", config_path,
+                             "--listen", f"127.0.0.1:{ports[name]}"],
+                        ),
+                        daemon=True,
+                    )
+                    thread.start()
+                    threads.append(thread)
+
+                deadline = time.monotonic() + 60
+                for name, port in ports.items():
+                    while True:
+                        assert time.monotonic() < deadline, f"{name} never listened"
+                        try:
+                            socket.create_connection(("127.0.0.1", port), 0.5).close()
+                            break
+                        except OSError:
+                            time.sleep(0.05)
+
+                status = main(
+                    ["--role", "coordinator", "--config", config_path,
+                     "--spec", plan_path, "--peers", peers_path,
+                     "--report", report_path]
+                )
+            assert status == 0
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive(), "role thread survived SHUTDOWN"
+
+            with open(report_path) as handle:
+                summary = json.load(handle)
+
+        reference_deployment = Deployment.create(config)
+        try:
+            reference = ScenarioRunner(reference_deployment, plan).run()
+        finally:
+            reference_deployment.close()
+        assert summary == protocol.scenario_summary(reference)
+
+    def test_bad_listen_spec_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            _parse_listen("8080")

@@ -1,0 +1,317 @@
+"""The TCP transport: frame grammar fuzzing and live-socket behaviour.
+
+Three layers, cheapest first: hypothesis round-trip and truncation fuzzing
+of the frame/handshake codecs (pure functions, no sockets), single-process
+loopback tests against a live listener (real sockets, one interpreter),
+and one ``distributed``-marked test that talks to an actual
+``python -m repro.runner --role mix`` subprocess over the management and
+data planes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.coordinator.network import Deployment, DeploymentConfig
+from repro.errors import DecodingError, TransportError
+from repro.runner import protocol
+from repro.runner.harness import READY_PREFIX
+from repro.transport import frames
+from repro.transport.envelope import SUBMISSION, Envelope
+from repro.transport.faulty import DROP, FaultyTransport, LinkFault
+from repro.transport.tcp import TcpTransport
+
+from tests.test_transport import make_submission
+
+request_ids = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def all_proper_prefixes_fail(decoder, data):
+    for cut in range(len(data)):
+        with pytest.raises(DecodingError):
+            decoder(data[:cut])
+
+
+class TestFrameCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        frame_type=st.sampled_from(frames.FRAME_TYPES),
+        request_id=request_ids,
+        body=st.binary(max_size=256),
+    )
+    def test_round_trip(self, frame_type, request_id, body):
+        wire = frames.encode_frame(frame_type, request_id, body)
+        assert frames.decode_frame(wire) == (frame_type, request_id, body)
+
+    @settings(max_examples=25, deadline=None)
+    @given(request_id=request_ids, body=st.binary(max_size=64))
+    def test_every_truncation_is_rejected(self, request_id, body):
+        wire = frames.encode_frame(frames.FRAME_ENVELOPE, request_id, body)
+        all_proper_prefixes_fail(frames.decode_frame, wire)
+
+    def test_trailing_bytes_are_rejected(self):
+        wire = frames.encode_frame(frames.FRAME_REPLY, 7, b"body")
+        with pytest.raises(DecodingError, match="trailing"):
+            frames.decode_frame(wire + b"\x00")
+
+    def test_unknown_frame_type_is_rejected_both_ways(self):
+        with pytest.raises(DecodingError, match="unknown frame type"):
+            frames.encode_frame(99, 1, b"")
+        wire = bytearray(frames.encode_frame(frames.FRAME_HELLO, 1, b""))
+        wire[4] = 99  # frame type byte, just past the length prefix
+        with pytest.raises(DecodingError, match="unknown frame type"):
+            frames.decode_frame(bytes(wire))
+
+
+class TestHelloCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        node=st.text(max_size=32),
+        group_kind=st.text(max_size=32),
+        digest=st.binary(max_size=48),
+    )
+    def test_round_trip(self, node, group_kind, digest):
+        hello = frames.Hello(node=node, group_kind=group_kind, config_digest=digest)
+        assert frames.decode_hello(frames.encode_hello(hello)) == hello
+
+    @settings(max_examples=25, deadline=None)
+    @given(node=st.text(max_size=16), digest=st.binary(max_size=32))
+    def test_every_truncation_is_rejected(self, node, digest):
+        wire = frames.encode_hello(
+            frames.Hello(node=node, group_kind="ModPGroup", config_digest=digest)
+        )
+        all_proper_prefixes_fail(frames.decode_hello, wire)
+
+    def test_bad_magic_is_rejected(self):
+        wire = frames.encode_hello(frames.Hello("n", "g", b""))
+        with pytest.raises(DecodingError, match="magic"):
+            frames.decode_hello(b"NOPE" + wire[4:])
+
+    def test_version_mismatch_is_rejected(self):
+        wire = bytearray(frames.encode_hello(frames.Hello("n", "g", b"")))
+        wire[4:6] = (frames.PROTOCOL_VERSION + 1).to_bytes(2, "big")
+        with pytest.raises(DecodingError, match="version mismatch"):
+            frames.decode_hello(bytes(wire))
+
+
+class TestEnvelopeFrameCodec:
+    def test_round_trip_with_optional_fields(self, group):
+        submission = make_submission(group, chain_id=2, sender="user-1")
+        for chain_id, part in [(None, None), (2, None), (2, 3)]:
+            envelope = Envelope(
+                kind=SUBMISSION,
+                source="user-1",
+                destination="server-0",
+                round_number=11,
+                payload=submission,
+                chain_id=chain_id,
+                part=part,
+            )
+            wire = frames.encode_envelope_frame(group, envelope)
+            assert frames.decode_envelope_frame(group, wire) == envelope
+
+    def test_every_truncation_is_rejected(self, group):
+        envelope = Envelope(
+            kind=SUBMISSION,
+            source="user-1",
+            destination="server-0",
+            round_number=11,
+            payload=make_submission(group),
+            chain_id=1,
+            part=0,
+        )
+        wire = frames.encode_envelope_frame(group, envelope)
+        all_proper_prefixes_fail(
+            lambda data: frames.decode_envelope_frame(group, data), wire
+        )
+
+    def test_trailing_bytes_are_rejected(self, group):
+        envelope = Envelope(
+            kind=SUBMISSION,
+            source="u",
+            destination="s",
+            round_number=1,
+            payload=make_submission(group),
+        )
+        wire = frames.encode_envelope_frame(group, envelope)
+        with pytest.raises(DecodingError, match="trailing"):
+            frames.decode_envelope_frame(group, wire + b"\x00")
+
+    def test_unknown_kind_is_rejected(self, group):
+        envelope = Envelope(
+            kind=SUBMISSION,
+            source="u",
+            destination="s",
+            round_number=1,
+            payload=make_submission(group),
+        )
+        wire = frames.encode_envelope_frame(group, envelope)
+        # Splice in an unknown kind string of the same length.
+        assert SUBMISSION.encode() in wire
+        broken = wire.replace(SUBMISSION.encode(), b"x" * len(SUBMISSION.encode()), 1)
+        with pytest.raises(DecodingError, match="unknown envelope kind"):
+            frames.decode_envelope_frame(group, broken)
+
+
+class TestErrorCodec:
+    @settings(max_examples=25, deadline=None)
+    @given(message=st.text(max_size=128))
+    def test_round_trip(self, message):
+        assert frames.decode_error(frames.encode_error(message)) == message
+
+    def test_trailing_bytes_are_rejected(self):
+        with pytest.raises(DecodingError, match="trailing"):
+            frames.decode_error(frames.encode_error("boom") + b"\x00")
+
+
+@pytest.fixture
+def tcp(group):
+    transport = TcpTransport(group, node_name="loopback")
+    yield transport
+    transport.close()
+
+
+def submission_envelope(group, sender="alice"):
+    submission = make_submission(group, chain_id=1, sender=sender)
+    envelope = Envelope(
+        kind=SUBMISSION,
+        source=sender,
+        destination="server-0",
+        round_number=1,
+        payload=submission,
+    )
+    return submission, envelope
+
+
+class TestLoopback:
+    def test_deliver_reflects_through_a_real_socket(self, tcp, group):
+        submission, envelope = submission_envelope(group)
+        assert tcp.deliver(envelope) == submission
+
+    def test_deliver_many_is_pipelined_and_ordered(self, tcp, group):
+        pairs = [submission_envelope(group, sender=f"user-{i}") for i in range(5)]
+        replies = tcp.deliver_many([envelope for _, envelope in pairs])
+        assert replies == [submission for submission, _ in pairs]
+
+    def test_handler_errors_surface_as_transport_errors(self, tcp):
+        # The default reflector accepts no control messages; the error must
+        # cross the socket as an ERROR frame and re-raise on the caller.
+        with pytest.raises(TransportError, match="peer .* reported"):
+            tcp.control(tcp.node_name, b"\x01")
+
+    def test_faulty_wrapper_drops_over_tcp(self, tcp, group):
+        faulty = FaultyTransport(tcp, [LinkFault(behaviour=DROP, kind=SUBMISSION)])
+        _, envelope = submission_envelope(group)
+        assert faulty.deliver(envelope) is None
+
+    def test_request_after_close_raises(self, tcp, group):
+        tcp.close()
+        tcp.close()  # idempotent
+        _, envelope = submission_envelope(group)
+        with pytest.raises(TransportError, match="closed"):
+            tcp.deliver(envelope)
+
+    def test_unknown_peer_is_a_routing_error(self, tcp, group):
+        _, envelope = submission_envelope(group)
+        tcp.set_peers({}, {"server-0": "elsewhere"})
+        with pytest.raises(TransportError, match="no route to peer"):
+            tcp.deliver(envelope)
+
+
+class TestHandshake:
+    def test_group_kind_mismatch_is_rejected(self, group):
+        with TcpTransport(group, node_name="server") as server, TcpTransport(
+            group, node_name="client", group_kind="EllipticNope"
+        ) as client:
+            client.set_peers({"server": server.local_address}, {})
+            with pytest.raises(TransportError, match="rejected the handshake"):
+                client.control("server", b"\x01")
+
+    def test_config_digest_mismatch_is_rejected(self, group):
+        with TcpTransport(
+            group, node_name="server", config_digest=b"a" * 32
+        ) as server, TcpTransport(
+            group, node_name="client", config_digest=b"b" * 32
+        ) as client:
+            client.set_peers({"server": server.local_address}, {})
+            with pytest.raises(TransportError, match="rejected the handshake"):
+                client.control("server", b"\x01")
+
+    def test_digestless_probe_is_accepted(self, group):
+        # An empty digest means "not asserting a config" (debug tooling);
+        # only two *conflicting* non-empty digests are refused.
+        submission, envelope = submission_envelope(group)
+        with TcpTransport(
+            group, node_name="server", config_digest=b"a" * 32
+        ) as server, TcpTransport(group, node_name="probe") as probe:
+            probe.set_peers({"server": server.local_address}, {"server-0": "server"})
+            assert probe.deliver(envelope) == submission
+
+
+@pytest.mark.distributed
+class TestTwoProcesses:
+    """Talk to a real ``python -m repro.runner --role mix`` child process."""
+
+    def test_ping_deliver_and_shutdown(self):
+        config = DeploymentConfig(
+            num_servers=2,
+            num_users=2,
+            num_chains=1,
+            chain_length=2,
+            seed=7,
+            group_kind="modp",
+        )
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (package_root, env.get("PYTHONPATH")) if part
+        )
+        with tempfile.TemporaryDirectory(prefix="xrd-two-proc-") as workdir:
+            config_path = os.path.join(workdir, "config.json")
+            with open(config_path, "w") as handle:
+                json.dump(protocol.config_to_dict(config), handle, sort_keys=True)
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.runner", "--role", "mix",
+                 "--name", "mix-0", "--config", config_path],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            probe = None
+            try:
+                line = proc.stdout.readline().split()
+                assert line and line[0] == READY_PREFIX, line
+                address = (line[2], int(line[3]))
+                # The same config builds the same group, so the handshake's
+                # group-kind and config-digest checks both engage for real.
+                reference = Deployment.create(config)
+                probe = TcpTransport(
+                    reference.group,
+                    node_name="probe",
+                    config_digest=protocol.config_digest(config),
+                )
+                probe.set_peers({"mix-0": address}, {"server-0": "mix-0"})
+                assert probe.control(
+                    "mix-0", protocol.encode_control(protocol.OP_PING)
+                ) == b"pong"
+                submission, envelope = submission_envelope(reference.group)
+                assert probe.deliver(envelope) == submission
+                assert probe.control(
+                    "mix-0", protocol.encode_control(protocol.OP_SHUTDOWN)
+                ) == b"ok"
+                assert proc.wait(timeout=30) == 0
+            finally:
+                if probe is not None:
+                    probe.close()
+                if proc.poll() is None:
+                    proc.kill()
+                proc.stdout.close()
+                proc.stderr.close()

@@ -1,0 +1,152 @@
+"""The shared :class:`~repro.transport.base.Transport` contract suite.
+
+Every transport the registry can produce — and every wrapper — must honour
+the same capability surface: ``deliver`` returns the payload as the
+destination observed it, ``deliver_many`` is semantically the per-envelope
+loop, ``close`` is idempotent, the context-manager protocol closes, and
+``fork_safe`` truthfully reports whether the instance survives ``fork``.
+The suite runs identically over inproc, instrumented, faulty(inproc), and
+the TCP loopback reflector, so a new transport only needs a factory row
+here to prove itself.
+"""
+
+import abc
+
+import pytest
+
+from repro.transport import (
+    SUBMISSION,
+    Envelope,
+    FaultyTransport,
+    InProcTransport,
+    InstrumentedTransport,
+    Transport,
+)
+from repro.transport.tcp import TcpTransport
+
+from tests.test_transport import make_submission
+
+
+def _inproc(group):
+    return InProcTransport()
+
+
+def _instrumented(group):
+    return InstrumentedTransport(group)
+
+
+def _faulty(group):
+    return FaultyTransport(InProcTransport(), [])
+
+
+def _tcp(group):
+    return TcpTransport(group, node_name="contract")
+
+
+FACTORIES = {
+    "inproc": _inproc,
+    "instrumented": _instrumented,
+    "faulty": _faulty,
+    "tcp": _tcp,
+}
+
+#: The honest fork-safety surface: an event-loop thread and live sockets do
+#: not survive fork; everything in-process does.  A wrapper mirrors what it
+#: wraps (see TestForkSafety for the faulty-over-tcp case).
+EXPECTED_FORK_SAFE = {
+    "inproc": True,
+    "instrumented": True,
+    "faulty": True,
+    "tcp": False,
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def transport(request, group):
+    instance = FACTORIES[request.param](group)
+    yield instance
+    instance.close()
+
+
+def submission_envelope(group, sender="alice"):
+    submission = make_submission(group, chain_id=1, sender=sender)
+    return (
+        submission,
+        Envelope(
+            kind=SUBMISSION,
+            source=sender,
+            destination="server-0",
+            round_number=1,
+            payload=submission,
+        ),
+    )
+
+
+class TestTransportContract:
+    def test_is_a_transport(self, transport):
+        assert isinstance(transport, Transport)
+        assert transport.name in FACTORIES
+
+    def test_deliver_returns_the_observed_payload(self, transport, group):
+        submission, envelope = submission_envelope(group)
+        assert transport.deliver(envelope) == submission
+
+    def test_deliver_many_matches_the_per_envelope_loop(self, transport, group):
+        pairs = [submission_envelope(group, sender=f"user-{i}") for i in range(3)]
+        batch = transport.deliver_many([envelope for _, envelope in pairs])
+        assert batch == [submission for submission, _ in pairs]
+
+    def test_close_is_idempotent(self, transport):
+        transport.close()
+        transport.close()  # must not raise
+
+    def test_context_manager_closes(self, group, request):
+        # A fresh instance per factory: the fixture instance must stay open
+        # for the other tests' sake.
+        for name, factory in FACTORIES.items():
+            with factory(group) as instance:
+                assert isinstance(instance, Transport)
+            instance.close()  # idempotent even after __exit__
+
+    def test_fork_safety_flags(self, transport):
+        assert transport.fork_safe == EXPECTED_FORK_SAFE[transport.name]
+
+
+class TestForkSafety:
+    def test_wrapper_mirrors_inner_flag(self, group):
+        with TcpTransport(group, node_name="wrapped") as tcp:
+            assert FaultyTransport(tcp, []).fork_safe is False
+        assert FaultyTransport(InProcTransport(), []).fork_safe is True
+
+
+class TestAbstractBase:
+    def test_cannot_instantiate_without_deliver(self):
+        with pytest.raises(TypeError):
+            Transport()
+
+    def test_minimal_subclass_gets_the_defaults(self, group):
+        class Recorder(Transport):
+            name = "recorder"
+
+            def __init__(self):
+                self.seen = []
+
+            def deliver(self, envelope):
+                self.seen.append(envelope)
+                return envelope.payload
+
+        recorder = Recorder()
+        _, envelope = submission_envelope(group)
+        assert recorder.deliver_many([envelope, envelope]) == [
+            envelope.payload,
+            envelope.payload,
+        ]
+        assert len(recorder.seen) == 2
+        assert recorder.fork_safe is True
+        recorder.close()
+        with recorder as entered:
+            assert entered is recorder
+
+    def test_deliver_is_abstract(self):
+        assert getattr(Transport.deliver, "__isabstractmethod__", False)
+        assert isinstance(Transport, abc.ABCMeta)
