@@ -63,18 +63,37 @@ def load_means(path: pathlib.Path) -> Dict[str, float]:
     return means
 
 
+def _active_kernel_name() -> str:
+    """The crypto-kernel tier the recording run resolved (provenance).
+
+    Means measured under different tiers are not comparable — the native
+    kernels shift the hot benchmarks several-fold — so the baseline records
+    which tier produced it and the gate warns on a mismatch.
+    """
+    try:
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+        from repro.crypto import kernels
+
+        return kernels.active_kernel().value
+    except Exception:
+        return "unknown"
+
+
 def write_baseline(fresh_path: pathlib.Path, baseline_path: pathlib.Path) -> None:
     """Store a trimmed baseline: per-benchmark means plus provenance."""
     data = json.loads(fresh_path.read_text())
+    kernel = _active_kernel_name()
     trimmed = {
         "comment": (
             "Benchmark baseline for compare_to_baseline.py. Regenerate with "
             "--write-baseline after intentional performance changes."
         ),
+        "crypto_kernel": kernel,
         "machine_info": data.get("machine_info", {}),
         "benchmarks": [
             {
                 "fullname": bench.get("fullname") or bench.get("name"),
+                "kernel": kernel,
                 "stats": {"mean": bench["stats"]["mean"]},
             }
             for bench in data.get("benchmarks", [])
@@ -162,6 +181,15 @@ def main(argv=None) -> int:
     if not args.baseline.exists():
         print(f"baseline {args.baseline} does not exist; create it with --write-baseline")
         return 1
+    recorded = json.loads(args.baseline.read_text()).get("crypto_kernel")
+    current = _active_kernel_name()
+    if recorded and recorded not in (current, "unknown") and current != "unknown":
+        print(
+            f"note: baseline was recorded on the {recorded!r} crypto kernel "
+            f"but this run resolved {current!r}; the machine-speed "
+            "calibration absorbs a uniform shift, but refresh the baseline "
+            "if the tiers should match"
+        )
     return compare(load_means(args.fresh), load_means(args.baseline), args.tolerance)
 
 

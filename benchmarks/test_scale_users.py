@@ -38,6 +38,8 @@ import pytest
 
 from repro.analysis import render_table
 from repro.client.chain_selection import reset_assignment_caches
+from repro.crypto import kernels
+from repro.crypto.group import reset_window_table_caches
 from repro.coordinator.network import Deployment, DeploymentConfig
 from repro.crypto.nizk import SchnorrProof
 from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage
@@ -68,6 +70,13 @@ SMOKE_PEAK_RSS_CEILING = 1_500_000_000
 #: scales the measured 100k streamed round (~1.6 GB) by 10× with headroom.
 MILLION_USER_PEAK_RSS_BUDGET = 24_000_000_000
 
+#: PR 6's measured retained floor at 100k users: the chunked (but eager)
+#: round's transient working set was ~1.12 GB, dominated by the decoded
+#: submission batch every chain holds through mixing and blame.  The
+#: streamed-mix acceptance criterion (ISSUE 9) is to land *below* this —
+#: the wire-resident EncodedBatch replaces the decoded objects.
+EAGER_100K_ROUND_DELTA_FLOOR = 1_120_000_000
+
 
 def run_round_at_scale(
     num_users: int,
@@ -75,6 +84,8 @@ def run_round_at_scale(
     precompute: bool = True,
     chunk_size: int | None = None,
     build_workers: int = 0,
+    stream_mix: bool = False,
+    crypto_kernel: str | None = None,
 ):
     """One full round at ``num_users`` (modp group, 4 chains, covers off).
 
@@ -95,6 +106,12 @@ def run_round_at_scale(
     — the standing population is O(users) under any pipeline.
     """
     reset_assignment_caches()
+    reset_window_table_caches()
+    kernels.reset_kernel_for_tests()
+    if crypto_kernel is not None:
+        # The native request degrades (with one warning) on a box without
+        # the extension, so the sweep still runs — on the lower tier.
+        kernels.set_active_kernel(crypto_kernel)
     config = DeploymentConfig(
         num_servers=4,
         num_users=num_users,
@@ -107,6 +124,7 @@ def run_round_at_scale(
         precompute=precompute,
         population_chunk_size=chunk_size,
         population_build_workers=build_workers,
+        stream_mix=stream_mix,
     )
     with PeakRssMeter() as create_meter:
         deployment = Deployment.create(config)
@@ -124,6 +142,7 @@ def run_round_at_scale(
         deployment.close()
     return {
         "users": num_users,
+        "kernel": kernels.active_kernel().value,
         "seconds": elapsed,
         "peak_rss": max(create_meter.peak_bytes, round_meter.peak_bytes),
         "standing_rss": standing,
@@ -140,6 +159,7 @@ def _sweep_rows(points):
     return [
         [
             f"{point['users']:,}",
+            point["kernel"],
             f"{point['seconds']:.1f}",
             f"{point['online_seconds']:.1f}",
             f"{point['peak_rss'] / 1e6:.0f}",
@@ -149,7 +169,7 @@ def _sweep_rows(points):
     ]
 
 
-_SWEEP_HEADER = ["users", "round s", "online s", "peak RSS MB", "round Δ MB"]
+_SWEEP_HEADER = ["users", "kernel", "round s", "online s", "peak RSS MB", "round Δ MB"]
 
 
 def test_scale_users_sweep(benchmark):
@@ -265,7 +285,8 @@ def test_scale_smoke_50k_users():
     online/precompute phase split at that scale (ISSUE 5).
     """
     point = run_round_at_scale(
-        50_000, precompute=True, chunk_size=CHUNK_SIZE, build_workers=BUILD_WORKERS
+        50_000, precompute=True, chunk_size=CHUNK_SIZE, build_workers=BUILD_WORKERS,
+        stream_mix=True, crypto_kernel="native",
     )
     assert point["precompute_seconds"] > 0.0
     assert point["online_seconds"] > 0.0
@@ -273,7 +294,8 @@ def test_scale_smoke_50k_users():
     save_result(
         "scale_users_50k",
         f"50,000-user streamed round ({CHUNK_SIZE // 1000}k chunks, "
-        f"{BUILD_WORKERS} build workers): {point['seconds']:.1f}s "
+        f"{BUILD_WORKERS} build workers, {point['kernel']} kernels, "
+        f"streamed mix): {point['seconds']:.1f}s "
         f"(online mix phase {point['online_seconds']:.1f}s, "
         f"precomputed off-path {point['precompute_seconds']:.1f}s), "
         f"peak RSS {point['peak_rss'] / 1e6:.0f} MB "
@@ -316,19 +338,67 @@ def test_scale_full_100k_users():
     )
 
 
+@pytest.mark.skipif(SCALE != "full", reason="set XRD_SCALE=full for the 100k rounds")
+def test_scale_full_100k_streamed_mix():
+    """The retained-memory attack, measured (ISSUE 9): the same 100k
+    chunked round with the mix stage's batches kept wire-resident
+    (``stream_mix=True``) and the native kernels doing the arithmetic.
+
+    The gate is the acceptance criterion itself: the streamed round's
+    transient working set (``round_delta_rss``) must land below PR 6's
+    measured eager floor, and below the eager twin measured in the same
+    process — the engine releases its decoded submission lists after
+    acceptance and every chain holds an ``EncodedBatch`` blob plus sender
+    stubs instead of decoded entries through mixing, blame, and history.
+    """
+    eager = run_round_at_scale(
+        100_000, chunk_size=CHUNK_SIZE, build_workers=BUILD_WORKERS,
+        crypto_kernel="native",
+    )
+    streamed = run_round_at_scale(
+        100_000, chunk_size=CHUNK_SIZE, build_workers=BUILD_WORKERS,
+        stream_mix=True, crypto_kernel="native",
+    )
+    assert streamed["round_delta_rss"] < EAGER_100K_ROUND_DELTA_FLOOR
+    assert streamed["round_delta_rss"] < eager["round_delta_rss"]
+    # The residency change must not cost wall clock (same band as the
+    # mono-vs-chunked comparison).
+    assert streamed["seconds"] < eager["seconds"] * 1.15
+    rows = [
+        ["eager", f"{eager['seconds']:.1f}", f"{eager['online_seconds']:.1f}",
+         f"{eager['peak_rss'] / 1e6:.0f}",
+         f"{eager['round_delta_rss'] / 1e6:.0f}"],
+        ["streamed mix", f"{streamed['seconds']:.1f}",
+         f"{streamed['online_seconds']:.1f}",
+         f"{streamed['peak_rss'] / 1e6:.0f}",
+         f"{streamed['round_delta_rss'] / 1e6:.0f}"],
+    ]
+    save_result(
+        "scale_users_100k_streamed",
+        f"100,000-user chunked round, eager vs streamed mix "
+        f"({eager['kernel']} kernels; eager floor "
+        f"{EAGER_100K_ROUND_DELTA_FLOOR / 1e6:.0f} MB)\n"
+        + render_table(
+            ["mix intake", "round s", "online s", "peak RSS MB", "round Δ MB"], rows
+        ),
+    )
+
+
 @pytest.mark.skipif(SCALE != "full", reason="set XRD_SCALE=full for the million-user round")
 def test_scale_full_1m_users():
     """The million-user point (ISSUE 6): one round, streaming pipeline only
     (the monolithic build at this scale is exactly what the pipeline
     retires), under the whole-process peak-RSS budget."""
     point = run_round_at_scale(
-        1_000_000, chunk_size=CHUNK_SIZE, build_workers=BUILD_WORKERS
+        1_000_000, chunk_size=CHUNK_SIZE, build_workers=BUILD_WORKERS,
+        stream_mix=True, crypto_kernel="native",
     )
     assert point["peak_rss"] < MILLION_USER_PEAK_RSS_BUDGET
     save_result(
         "scale_users_1m",
         f"1,000,000-user streamed round ({CHUNK_SIZE // 1000}k chunks, "
-        f"{BUILD_WORKERS} build workers): {point['seconds']:.1f}s "
+        f"{BUILD_WORKERS} build workers, {point['kernel']} kernels, "
+        f"streamed mix): {point['seconds']:.1f}s "
         f"(online mix phase {point['online_seconds']:.1f}s, "
         f"precomputed off-path {point['precompute_seconds']:.1f}s), "
         f"peak RSS {point['peak_rss'] / 1e6:.0f} MB of "

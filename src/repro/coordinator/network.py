@@ -36,7 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.client.chain_selection import ell_for_chains
 from repro.client.user import ChainKeysView, User
-from repro.crypto.group import Ed25519Group, ModPGroup
+from repro.crypto.group import Ed25519Group, ModPGroup, reset_window_table_caches
 from repro.crypto.keys import KeyDirectory, KeyPair
 from repro.crypto.randomness import PublicRandomnessBeacon
 from repro.engine import (
@@ -54,9 +54,11 @@ import repro.population  # noqa: F401 - registers the population factories
 from repro.mixnet.chain import ChainTopology, form_chains, required_chain_length
 from repro.mixnet.messages import ClientSubmission
 from repro.registry import (
+    CRYPTO_KERNELS,
     EXECUTION_BACKENDS,
     POPULATIONS,
     TRANSPORTS,
+    CryptoKernelKind,
     ExecutionBackendKind,
     PopulationKind,
     TransportKind,
@@ -152,6 +154,24 @@ class DeploymentConfig:
     #: which replays the draws so determinism is preserved.  Requires
     #: ``population_chunk_size`` (and therefore ``population="batched"``).
     population_build_workers: int = 0
+    #: Which crypto kernel tier steers the batched hot loops: a typed
+    #: :class:`~repro.registry.CryptoKernelKind` — ``PYTHON`` (scalar
+    #: reference), ``NUMPY`` (vectorised ChaCha20 batches), or ``NATIVE``
+    #: (the ``_xrdkernels`` cffi extension, DESIGN.md §11; degrades to the
+    #: best lower tier with one warning when the extension is unavailable)
+    #: — or the name of a kernel registered in
+    #: :data:`repro.registry.CRYPTO_KERNELS`.  ``None`` (default) keeps the
+    #: process's lazy resolution (``XRD_CRYPTO_KERNEL`` env, else best
+    #: available).  Note the selection is process-global, like the numpy
+    #: fast path always was: the last deployment created wins.
+    crypto_kernel: Union[str, CryptoKernelKind, None] = None
+    #: Streamed mix intake (DESIGN.md §11.3): chains keep each round's
+    #: accepted batch in its wire encoding (:class:`~repro.mixnet.messages.
+    #: EncodedBatch`) and decode entries transiently during the mix, so
+    #: per-round retained memory is the blob instead of per-entry decoded
+    #: objects.  Bit-identical output; the scale benchmarks measure the
+    #: retained-RSS difference.
+    stream_mix: bool = False
 
     def __post_init__(self) -> None:
         # The deprecation shim: plain built-in strings are coerced to their
@@ -163,6 +183,10 @@ class DeploymentConfig:
         )
         self.transport = TRANSPORTS.coerce(self.transport, field="transport")
         self.population = POPULATIONS.coerce(self.population, field="population")
+        if self.crypto_kernel is not None:
+            self.crypto_kernel = CRYPTO_KERNELS.coerce(
+                self.crypto_kernel, field="crypto_kernel"
+            )
 
     def resolved_num_chains(self) -> int:
         return self.num_chains if self.num_chains is not None else self.num_servers
@@ -193,6 +217,8 @@ class DeploymentConfig:
             raise ConfigurationError("max_workers must be positive when set")
         TRANSPORTS.ensure_known(self.transport, field="transport")
         POPULATIONS.ensure_known(self.population, field="population")
+        if self.crypto_kernel is not None:
+            CRYPTO_KERNELS.ensure_known(self.crypto_kernel, field="crypto_kernel")
         if self.population_chunk_size is not None and self.population_chunk_size < 1:
             raise ConfigurationError("population_chunk_size must be positive when set")
         if self.population_build_workers < 0:
@@ -324,6 +350,10 @@ class Deployment:
     def create(cls, config: DeploymentConfig) -> "Deployment":
         """Build a deployment: servers, chains (with key ceremony), mailboxes, users."""
         config.validate()
+        if config.crypto_kernel is not None:
+            # The registry factory for a kernel *is* the tier selection
+            # (process-global, like the numpy fast path before it).
+            CRYPTO_KERNELS.create(config.crypto_kernel)
         if config.group_kind == "modp":
             group = ModPGroup(bits=config.modp_bits)
         else:
@@ -361,7 +391,12 @@ class Deployment:
                 nodes_by_name[server_name].join_chain(topology.chain_id, position)
                 for position, server_name in enumerate(topology.servers)
             ]
-            chain = MixChain(chain_id=topology.chain_id, members=members, group=group)
+            chain = MixChain(
+                chain_id=topology.chain_id,
+                members=members,
+                group=group,
+                stream_mix=config.stream_mix,
+            )
             chain.setup()
             chains.append(chain)
 
@@ -639,7 +674,12 @@ class Deployment:
         ]
         for name in old_names - set(topology.servers):
             self._nodes_by_name[name].chain_members.pop(chain_id, None)
-        chain = MixChain(chain_id=chain_id, members=members, group=self.group)
+        chain = MixChain(
+            chain_id=chain_id,
+            members=members,
+            group=self.group,
+            stream_mix=self.config.stream_mix,
+        )
         chain.setup()
         chain.transport = self.transport
         self.chains[index] = chain
@@ -663,6 +703,11 @@ class Deployment:
         # guarantees no stale table is ever consulted through a lingering
         # reference (adversarial wrappers, tests).
         old_chain.invalidate_precompute()
+
+        # The retired ceremony's points may be pinned in the fixed-point
+        # window-table caches; an epoch re-form is the natural reset point
+        # (mirrors reset_assignment_caches for the population layer).
+        reset_window_table_caches()
 
         # Banked covers that target the re-formed chain were built for key
         # material that no longer exists; playing them would misauthenticate.

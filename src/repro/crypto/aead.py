@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.constants import AEAD_NONCE_SIZE, AEAD_TAG_SIZE
+from repro.crypto import kernels as _kernels
 from repro.crypto.chacha20 import (
     BLOCK_SIZE,
     chacha20_block,
@@ -189,11 +190,17 @@ def aenc_batch(keys: Sequence[bytes], nonce, plaintexts: Sequence[bytes],
     sequence.  All messages share ``aad``.
     """
     if len(keys) != len(plaintexts):
-        raise CryptoError("one key per plaintext required")
+        raise CryptoError(
+            "one key per plaintext required "
+            f"(got {len(keys)} keys, {len(plaintexts)} plaintexts)"
+        )
     for key in keys:
         if len(key) != 32:
             raise CryptoError("AEAD key must be 32 bytes")
     nonces = _normalise_nonces(nonce, len(keys))
+    native = _kernels.aead_seal_batch(keys, nonces, plaintexts, aad)
+    if native is not None:
+        return native
     lengths = [len(plaintext) for plaintext in plaintexts]
     out: List[bytes] = []
     for (otk, stream), plaintext in zip(_batch_keystreams(keys, nonces, lengths), plaintexts):
@@ -211,7 +218,10 @@ def adec_batch(keys: Sequence[bytes], nonce, datas: Sequence[bytes],
     like the scalar path.
     """
     if len(keys) != len(datas):
-        raise CryptoError("one key per ciphertext required")
+        raise CryptoError(
+            "one key per ciphertext required "
+            f"(got {len(keys)} keys, {len(datas)} ciphertexts)"
+        )
     for key in keys:
         if len(key) != 32:
             raise CryptoError("AEAD key must be 32 bytes")
@@ -219,6 +229,9 @@ def adec_batch(keys: Sequence[bytes], nonce, datas: Sequence[bytes],
         nonces = _normalise_nonces(nonce, len(keys))
     except CryptoError:
         return [(False, None)] * len(keys)
+    native = _kernels.aead_open_batch(keys, nonces, datas, aad)
+    if native is not None:
+        return native
     # Pass 1: one counter-0 block per message yields every Poly1305 one-time
     # key.  Verify-before-decrypt matters here more than in scalar adec:
     # the fetch cascade's trials fail by design (every message authenticates

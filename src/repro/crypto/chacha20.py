@@ -28,6 +28,7 @@ from __future__ import annotations
 import struct
 from typing import List, Sequence
 
+from repro.crypto import kernels as _kernels
 from repro.errors import CryptoError
 
 try:  # optional vectorisation; every caller has a scalar fallback
@@ -179,7 +180,10 @@ def chacha20_blocks_batch(keys: Sequence[bytes], nonces: Sequence[bytes],
     bit-identical to calling it in a loop.
     """
     if not (len(keys) == len(nonces) == len(counters)):
-        raise CryptoError("one nonce and one counter per key required")
+        raise CryptoError(
+            "one nonce and one counter per key required "
+            f"(got {len(keys)} keys, {len(nonces)} nonces, {len(counters)} counters)"
+        )
     for key, nonce, counter in zip(keys, nonces, counters):
         if len(key) != KEY_SIZE:
             raise CryptoError("ChaCha20 key must be 32 bytes")
@@ -187,7 +191,11 @@ def chacha20_blocks_batch(keys: Sequence[bytes], nonces: Sequence[bytes],
             raise CryptoError("ChaCha20 nonce must be 12 bytes")
         if not 0 <= counter < 2**32:
             raise CryptoError("ChaCha20 block counter out of range")
-    if _np is not None and len(keys) >= _BATCH_THRESHOLD:
+    if _kernels.native_enabled():
+        native = _kernels.chacha20_blocks(keys, nonces, counters)
+        if native is not None:
+            return native
+    if _np is not None and _kernels.numpy_enabled() and len(keys) >= _BATCH_THRESHOLD:
         return _blocks_batch_numpy(keys, nonces, counters)
     return b"".join(
         chacha20_block(key, counter, nonce)

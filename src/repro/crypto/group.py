@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from repro.crypto import field
+from repro.crypto import kernels as _kernels
 from repro.errors import ConfigurationError, DecodingError
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "multi_scalar_accumulate",
     "scalar_mult_batch",
     "fixed_point_mult_batch",
+    "reset_window_table_caches",
 ]
 
 # --- edwards25519 parameters (RFC 8032) -------------------------------------
@@ -149,15 +151,25 @@ _SCALAR_WINDOWS = (253 + _WINDOW_BITS - 1) // _WINDOW_BITS  # 64 windows cover a
 
 _BASE_COMB: Optional[List[List[Point]]] = None
 
-#: Identity-keyed cache of window tables for reused points, plus a probation
-#: dict of points seen exactly once.  A table is only *stored* on a point's
-#: second sighting, so the flood of one-shot ephemeral DH keys that flows
-#: through mixing and proof verification cannot evict the genuinely hot
-#: entries (chain mixing keys, members' base points).  Both dicts keep a
-#: strong reference to the point so a recycled ``id()`` can never alias a
-#: different point; both are bounded and evicted FIFO.
+#: Window tables are cached at two levels.  The durable cache is keyed by
+#: the point's canonical 32-byte encoding, so distinct :class:`Point`
+#: instances decoding the same wire bytes (every round re-decodes the chain
+#: mixing keys) share one table — the rebuild-per-call behaviour this
+#: replaces cost 14 additions per ``multi_scalar_accumulate`` term.  An
+#: identity-keyed probation level sits in front for instances whose
+#: encoding is not yet known: computing an encoding costs an affine field
+#: inversion (comparable to building the table), so one-shot internal
+#: points — blinded keys flowing between chain members — must never pay
+#: it.  A table is only *promoted* to the durable cache on a second
+#: sighting (by instance or by encoding), so the flood of one-shot
+#: ephemeral DH keys through mixing and proof verification cannot evict
+#: the genuinely hot entries.  The id-keyed dicts keep a strong reference
+#: to the point so a recycled ``id()`` can never alias a different point;
+#: all levels are bounded and evicted FIFO.
 _WINDOW_TABLE_CACHE: "dict[int, tuple]" = {}
 _WINDOW_SEEN_ONCE: "dict[int, Point]" = {}
+_WINDOW_TABLE_BY_ENCODING: "dict[bytes, List[Point]]" = {}
+_ENCODING_SEEN_ONCE: "dict[bytes, None]" = {}
 _WINDOW_TABLE_CACHE_LIMIT = 512
 
 _BASE_WINDOW_TABLE: Optional[List[Point]] = None
@@ -170,6 +182,47 @@ def _evict_one(cache: dict) -> None:
         pass
 
 
+def reset_window_table_caches() -> None:
+    """Drop every cached per-point window table (the epoch-reset hook).
+
+    Mirrors ``reset_assignment_caches``: call when the set of long-lived
+    points changes wholesale — a chain re-forms after blame, a scale
+    benchmark rebuilds its deployment — so the bounded caches are not
+    left holding tables for points that will never be seen again.  The
+    base-point comb and window table are derived from a compile-time
+    constant and survive resets.
+    """
+    _WINDOW_TABLE_CACHE.clear()
+    _WINDOW_SEEN_ONCE.clear()
+    _WINDOW_TABLE_BY_ENCODING.clear()
+    _ENCODING_SEEN_ONCE.clear()
+
+
+def _point_encoding(point: Point) -> bytes:
+    """The canonical 32-byte encoding, memoised on the instance.
+
+    ``Point`` is frozen but not slotted, so the memo rides in the instance
+    ``__dict__`` via ``object.__setattr__``; ``encode``/``decode`` seed it
+    for free on every point that touches the wire.
+    """
+    enc = point.__dict__.get("_enc")
+    if enc is None:
+        x, y = point.affine()
+        data = bytearray(y.to_bytes(32, "little"))
+        if x & 1:
+            data[31] |= 0x80
+        enc = bytes(data)
+        object.__setattr__(point, "_enc", enc)
+    return enc
+
+
+def _promote_window_table(enc: bytes, table: List[Point]) -> None:
+    _ENCODING_SEEN_ONCE.pop(enc, None)
+    if len(_WINDOW_TABLE_BY_ENCODING) >= _WINDOW_TABLE_CACHE_LIMIT:
+        _evict_one(_WINDOW_TABLE_BY_ENCODING)
+    _WINDOW_TABLE_BY_ENCODING[enc] = table
+
+
 def _window_table(point: Point) -> List[Point]:
     """Return ``[1·P, 2·P, …, 15·P]``, cached for points that are reused."""
     global _BASE_WINDOW_TABLE
@@ -177,21 +230,45 @@ def _window_table(point: Point) -> List[Point]:
         if _BASE_WINDOW_TABLE is None:
             _BASE_WINDOW_TABLE = _build_window_table(point)
         return _BASE_WINDOW_TABLE
+    enc = point.__dict__.get("_enc")
+    if enc is not None:
+        # Encoding known (the point crossed the wire): the durable cache is
+        # shared across instances, with its own second-sighting probation.
+        table = _WINDOW_TABLE_BY_ENCODING.get(enc)
+        if table is not None:
+            return table
+        table = _build_window_table(point)
+        if enc in _ENCODING_SEEN_ONCE:
+            _promote_window_table(enc, table)
+        else:
+            if len(_ENCODING_SEEN_ONCE) >= _WINDOW_TABLE_CACHE_LIMIT:
+                _evict_one(_ENCODING_SEEN_ONCE)
+            _ENCODING_SEEN_ONCE[enc] = None
+        return table
+    # Encoding unknown (an internal, never-encoded point): identity-keyed
+    # probation avoids the affine inversion an encoding would cost.
     key = id(point)
     cached = _WINDOW_TABLE_CACHE.get(key)
     if cached is not None and cached[0] is point:
         return cached[1]
-    table = _build_window_table(point)
     seen = _WINDOW_SEEN_ONCE.get(key)
     if seen is not None and seen is point:
         _WINDOW_SEEN_ONCE.pop(key, None)
+        # Second sighting: worth the encoding cost — promotion makes the
+        # table outlive this instance and reach equal decoded points.
+        enc = _point_encoding(point)
+        table = _WINDOW_TABLE_BY_ENCODING.get(enc)
+        if table is None:
+            table = _build_window_table(point)
+            _promote_window_table(enc, table)
         if len(_WINDOW_TABLE_CACHE) >= _WINDOW_TABLE_CACHE_LIMIT:
             _evict_one(_WINDOW_TABLE_CACHE)
         _WINDOW_TABLE_CACHE[key] = (point, table)
-    else:
-        if len(_WINDOW_SEEN_ONCE) >= _WINDOW_TABLE_CACHE_LIMIT:
-            _evict_one(_WINDOW_SEEN_ONCE)
-        _WINDOW_SEEN_ONCE[key] = point
+        return table
+    table = _build_window_table(point)
+    if len(_WINDOW_SEEN_ONCE) >= _WINDOW_TABLE_CACHE_LIMIT:
+        _evict_one(_WINDOW_SEEN_ONCE)
+    _WINDOW_SEEN_ONCE[key] = point
     return table
 
 
@@ -402,11 +479,7 @@ class Ed25519Group:
 
     def encode(self, point: Point) -> bytes:
         """Encode a point in the standard 32-byte compressed form."""
-        x, y = point.affine()
-        data = bytearray(y.to_bytes(32, "little"))
-        if x & 1:
-            data[31] |= 0x80
-        return bytes(data)
+        return _point_encoding(point)
 
     def decode(self, data: bytes) -> Point:
         """Decode a 32-byte compressed point.
@@ -423,7 +496,12 @@ class Ed25519Group:
         if y >= _P:
             raise DecodingError("point y coordinate out of range")
         x = _recover_x(y, sign)
-        return _point_from_affine(x, y)
+        point = _point_from_affine(x, y)
+        # The input bytes ARE the canonical encoding (encode(decode(d)) == d
+        # for any accepted d), so memoise them: the window-table cache keys
+        # on it, and re-encoding later would cost an affine inversion.
+        object.__setattr__(point, "_enc", bytes(data))
+        return point
 
     def is_in_prime_subgroup(self, point: Point) -> bool:
         """Return ``True`` when ``point`` lies in the prime-order subgroup."""
@@ -506,14 +584,34 @@ class ModPGroup:
 
     def scalar_mult_batch(self, elements: Sequence[int], scalar: int) -> List[int]:
         exponent = scalar % self.order
+        native = _kernels.modp_scalar_mult_batch(self.prime, elements, exponent)
+        if native is not None:
+            return native
         return [pow(element, exponent, self.prime) for element in elements]
+
+    def fixed_point_mult_batch(self, element: int, scalars: Sequence[int]) -> List[int]:
+        """Return ``[element^s for s in scalars]`` — one base, many exponents.
+
+        The population layer's shape: every user of a chain exponentiates
+        the same mixing (or aggregate inner) key by her own scalar.  The
+        native kernel builds the base's window table once for the batch.
+        """
+        exponents = [scalar % self.order for scalar in scalars]
+        native = _kernels.modp_fixed_mult_batch(self.prime, element, exponents)
+        if native is not None:
+            return native
+        return [pow(element, exponent, self.prime) for exponent in exponents]
 
     def multi_scalar_accumulate(self, elements: Sequence[int], scalars: Sequence[int]) -> int:
         if len(elements) != len(scalars):
             raise ConfigurationError("elements and scalars must have the same length")
+        exponents = [scalar % self.order for scalar in scalars]
+        native = _kernels.modp_multi_scalar_accumulate(self.prime, elements, exponents)
+        if native is not None:
+            return native
         total = 1
-        for element, scalar in zip(elements, scalars):
-            total = (total * pow(element, scalar % self.order, self.prime)) % self.prime
+        for element, exponent in zip(elements, exponents):
+            total = (total * pow(element, exponent, self.prime)) % self.prime
         return total
 
     def exp(self, element: int, scalar: int) -> int:
@@ -617,4 +715,7 @@ def fixed_point_mult_batch(group, point, scalars: Sequence[int]) -> List:
             else _windowed_mult_with_table(table, _scalar_windows(scalar))
             for scalar in reduced
         ]
+    batch = getattr(group, "fixed_point_mult_batch", None)
+    if batch is not None:
+        return batch(point, scalars)
     return [group.scalar_mult(point, scalar) for scalar in scalars]

@@ -1,0 +1,351 @@
+"""Crypto kernel tier selection and native-call wrappers (DESIGN.md §11).
+
+Three tiers run the batched hot loops, all bit-identical:
+
+* ``python`` — the scalar reference implementations, numpy disabled;
+* ``numpy``  — the vectorised ChaCha20 column batch (the pre-native
+  default whenever numpy is importable);
+* ``native`` — the ``_xrdkernels`` cffi extension for the four proven
+  hot kernels, falling back *per function* to the lower tiers for
+  anything it does not cover (or cannot run, e.g. a >256-bit modulus).
+
+The active tier is process-global state, resolved lazily on first query
+from, in priority order: an explicit :func:`set_active_kernel` call
+(``DeploymentConfig.crypto_kernel`` routes here), the
+``XRD_CRYPTO_KERNEL`` environment variable, then ``auto`` (best
+available).  Requesting ``native`` when the extension cannot be loaded
+downgrades with a single :class:`RuntimeWarning` — never an error — so
+the repo installs and passes tier-1 on a machine with no C compiler.
+
+The wrappers in this module (:func:`chacha20_blocks`,
+:func:`aead_seal_batch`, ...) return ``None`` when the native path is
+unavailable or declines the input; callers treat ``None`` as "use the
+reference path".  That convention keeps every fallback decision local to
+one ``if`` at each call site and makes the differential fuzzers trivial
+to aim at the raw kernels.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.registry import CRYPTO_KERNELS, CryptoKernelKind
+
+__all__ = [
+    "active_kernel",
+    "set_active_kernel",
+    "resolve_kernel",
+    "native_enabled",
+    "numpy_enabled",
+    "native_available",
+    "chacha20_blocks",
+    "aead_seal_batch",
+    "aead_open_batch",
+    "modp_scalar_mult_batch",
+    "modp_fixed_mult_batch",
+    "modp_multi_scalar_accumulate",
+]
+
+#: Largest modulus the native Montgomery kernels accept (4×64-bit limbs,
+#: matching the 32-byte ModPGroup element encoding).
+_MODP_LIMIT_BITS = 256
+
+_active: Optional[CryptoKernelKind] = None
+_warned_downgrade = False
+
+
+def _best_available() -> CryptoKernelKind:
+    if _load_native() is not None:
+        return CryptoKernelKind.NATIVE
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - exercised on numpy-less installs
+        return CryptoKernelKind.PYTHON
+    return CryptoKernelKind.NUMPY
+
+
+def _load_native():
+    from repro import native
+
+    return native.load()
+
+
+def _downgrade_warning(requested: str, got: CryptoKernelKind) -> None:
+    global _warned_downgrade
+    if _warned_downgrade:
+        return
+    _warned_downgrade = True
+    from repro import native
+
+    cause = native.load_error()
+    detail = f" ({cause})" if cause is not None else ""
+    warnings.warn(
+        f"crypto kernel {requested!r} requested but the _xrdkernels extension "
+        f"is unavailable{detail}; falling back to {got.value!r}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_kernel(requested: Union[str, CryptoKernelKind, None]) -> CryptoKernelKind:
+    """Map a requested tier (or ``None``/``"auto"``) to a usable one.
+
+    ``native`` degrades to the best lower tier (with one warning) when the
+    extension is unavailable; ``python`` and ``numpy`` are always usable
+    (the numpy tier itself falls back scalar-wise inside chacha20.py when
+    numpy is not importable, preserving pre-registry behaviour).
+    """
+    if requested is None or requested == "auto":
+        return _best_available()
+    kind = CryptoKernelKind(requested)
+    if kind is CryptoKernelKind.NATIVE and _load_native() is None:
+        best = _best_available()
+        _downgrade_warning(str(requested), best)
+        return best
+    return kind
+
+
+def active_kernel() -> CryptoKernelKind:
+    """The tier currently steering the batched hot loops."""
+    global _active
+    if _active is None:
+        env = os.environ.get("XRD_CRYPTO_KERNEL", "auto").strip().lower()
+        if env not in ("auto", "") and env not in set(CryptoKernelKind):
+            raise ConfigurationError(
+                f"XRD_CRYPTO_KERNEL must be one of "
+                f"{[k.value for k in CryptoKernelKind]} or 'auto', got {env!r}"
+            )
+        _active = resolve_kernel(env if env else "auto")
+    return _active
+
+
+def set_active_kernel(kind: Union[str, CryptoKernelKind, None]) -> CryptoKernelKind:
+    """Select the kernel tier for this process; returns the resolved tier.
+
+    ``None`` re-enables lazy resolution (environment / auto).  Note this
+    is process-global: a ``DeploymentConfig.crypto_kernel`` setting
+    applies to every deployment in the process, matching how the numpy
+    fast path has always behaved.
+    """
+    global _active
+    if kind is None:
+        _active = None
+        return active_kernel()
+    _active = resolve_kernel(kind)
+    return _active
+
+
+def native_enabled() -> bool:
+    return active_kernel() is CryptoKernelKind.NATIVE
+
+
+def numpy_enabled() -> bool:
+    """Whether the vectorised numpy paths may run (native tier includes them
+    as its own fallback for anything the extension does not cover)."""
+    return active_kernel() is not CryptoKernelKind.PYTHON
+
+
+def native_available() -> bool:
+    """Whether the extension itself is loadable (independent of the tier)."""
+    return _load_native() is not None
+
+
+def _handle():
+    if not native_enabled():
+        return None
+    return _load_native()
+
+
+# ---------------------------------------------------------------------------
+# Native-call wrappers.  Each returns None when the native path is off,
+# unavailable, or declines the input — the caller then runs its reference
+# path.  Outputs are plain bytes in exactly the layouts the Python
+# reference produces.
+# ---------------------------------------------------------------------------
+
+
+def chacha20_blocks(keys: Sequence[bytes], nonces: Sequence[bytes],
+                    counters: Sequence[int]) -> Optional[bytes]:
+    """Concatenated 64-byte keystream blocks, or ``None``.
+
+    Inputs must already be validated (32-byte keys, 12-byte nonces,
+    uint32 counters) — this mirrors where the dispatch sits inside
+    ``chacha20_blocks_batch``.
+    """
+    handle = _handle()
+    if handle is None:
+        return None
+    ffi, lib = handle
+    count = len(keys)
+    out = bytearray(64 * count)
+    if count:
+        rc = lib.xrd_chacha20_blocks(
+            b"".join(keys), b"".join(nonces),
+            ffi.new("uint32_t[]", list(counters)), count,
+            ffi.from_buffer(out, require_writable=True),
+        )
+        if rc != 0:  # pragma: no cover - no rejecting inputs after validation
+            return None
+    return bytes(out)
+
+
+def _offsets(lengths: Sequence[int]) -> List[int]:
+    offs = [0]
+    for length in lengths:
+        offs.append(offs[-1] + length)
+    return offs
+
+
+def aead_seal_batch(keys: Sequence[bytes], nonces: Sequence[bytes],
+                    plaintexts: Sequence[bytes], aad: bytes) -> Optional[List[bytes]]:
+    """Whole-batch ChaCha20-Poly1305 seal (ct || tag per message), or ``None``."""
+    handle = _handle()
+    if handle is None:
+        return None
+    ffi, lib = handle
+    count = len(keys)
+    pt_offs = _offsets([len(pt) for pt in plaintexts])
+    out_offs = _offsets([len(pt) + 16 for pt in plaintexts])
+    out = bytearray(out_offs[-1])
+    if count:
+        rc = lib.xrd_aead_seal_batch(
+            b"".join(keys), b"".join(nonces), count,
+            b"".join(plaintexts), ffi.new("uint64_t[]", pt_offs),
+            aad, len(aad),
+            ffi.from_buffer(out, require_writable=True),
+            ffi.new("uint64_t[]", out_offs),
+        )
+        if rc != 0:  # pragma: no cover - offsets are constructed consistent
+            return None
+    return [bytes(out[out_offs[i]:out_offs[i + 1]]) for i in range(count)]
+
+
+def aead_open_batch(keys: Sequence[bytes], nonces: Sequence[bytes],
+                    datas: Sequence[bytes], aad: bytes,
+                    ) -> Optional[List[Tuple[bool, Optional[bytes]]]]:
+    """Whole-batch verify-then-decrypt cascade, or ``None``.
+
+    Per message: ``(True, plaintext)`` on tag match, ``(False, None)``
+    otherwise (including data shorter than one tag) — the exact contract
+    of the reference ``adec``.
+    """
+    handle = _handle()
+    if handle is None:
+        return None
+    ffi, lib = handle
+    count = len(keys)
+    ct_offs = _offsets([len(d) for d in datas])
+    pt_offs = _offsets([max(0, len(d) - 16) for d in datas])
+    plain = bytearray(pt_offs[-1])
+    ok = bytearray(count)
+    if count:
+        rc = lib.xrd_aead_open_batch(
+            b"".join(keys), b"".join(nonces), count,
+            b"".join(datas), ffi.new("uint64_t[]", ct_offs),
+            aad, len(aad),
+            ffi.from_buffer(plain, require_writable=True),
+            ffi.new("uint64_t[]", pt_offs),
+            ffi.from_buffer(ok, require_writable=True),
+        )
+        if rc != 0:  # pragma: no cover - offsets are constructed consistent
+            return None
+    return [
+        (True, bytes(plain[pt_offs[i]:pt_offs[i + 1]])) if ok[i] else (False, None)
+        for i in range(count)
+    ]
+
+
+def _modp_ready(prime: int) -> bool:
+    return prime.bit_length() <= _MODP_LIMIT_BITS and prime % 2 == 1
+
+
+def modp_scalar_mult_batch(prime: int, elements: Sequence[int],
+                           exponent: int) -> Optional[List[int]]:
+    """``[pow(e, exponent, prime) for e in elements]`` natively, or ``None``.
+
+    ``exponent`` must already be reduced into ``[0, 2^256)`` (callers
+    reduce mod the group order first, as the reference path does).
+    """
+    handle = _handle()
+    if handle is None or not _modp_ready(prime):
+        return None
+    ffi, lib = handle
+    count = len(elements)
+    out = bytearray(32 * count)
+    if count:
+        try:
+            rc = lib.xrd_modp_scalar_mult_batch(
+                prime.to_bytes(32, "big"),
+                b"".join(e.to_bytes(32, "big") for e in elements), count,
+                exponent.to_bytes(32, "big"),
+                ffi.from_buffer(out, require_writable=True),
+            )
+        except OverflowError:  # an input outside [0, 2^256): let pow() handle it
+            return None
+        if rc != 0:
+            return None
+    return [int.from_bytes(out[32 * i:32 * i + 32], "big") for i in range(count)]
+
+
+def modp_fixed_mult_batch(prime: int, element: int,
+                          exponents: Sequence[int]) -> Optional[List[int]]:
+    """``[pow(element, x, prime) for x in exponents]`` natively, or ``None``."""
+    handle = _handle()
+    if handle is None or not _modp_ready(prime):
+        return None
+    ffi, lib = handle
+    count = len(exponents)
+    out = bytearray(32 * count)
+    if count:
+        try:
+            rc = lib.xrd_modp_fixed_mult_batch(
+                prime.to_bytes(32, "big"), element.to_bytes(32, "big"),
+                b"".join(x.to_bytes(32, "big") for x in exponents), count,
+                ffi.from_buffer(out, require_writable=True),
+            )
+        except OverflowError:
+            return None
+        if rc != 0:
+            return None
+    return [int.from_bytes(out[32 * i:32 * i + 32], "big") for i in range(count)]
+
+
+def modp_multi_scalar_accumulate(prime: int, elements: Sequence[int],
+                                 exponents: Sequence[int]) -> Optional[int]:
+    """``prod(pow(e, x, prime))`` fused in one native pass, or ``None``."""
+    handle = _handle()
+    if handle is None or not _modp_ready(prime):
+        return None
+    ffi, lib = handle
+    count = len(elements)
+    out = bytearray(32)
+    try:
+        rc = lib.xrd_modp_multi_scalar_accumulate(
+            prime.to_bytes(32, "big"),
+            b"".join(e.to_bytes(32, "big") for e in elements),
+            b"".join(x.to_bytes(32, "big") for x in exponents), count,
+            ffi.from_buffer(out, require_writable=True),
+        )
+    except OverflowError:
+        return None
+    if rc != 0:
+        return None
+    return int.from_bytes(out, "big")
+
+
+# The registry's factory contract instantiates components; for kernels the
+# "component" is the process-wide tier itself, so each factory selects its
+# tier and returns the resolved kind.
+for _kind in CryptoKernelKind:
+    CRYPTO_KERNELS.register(_kind, (lambda k: lambda: set_active_kernel(k))(_kind))
+del _kind
+
+
+def reset_kernel_for_tests() -> None:
+    """Forget the resolved tier and downgrade warning (test hook only)."""
+    global _active, _warned_downgrade
+    _active = None
+    _warned_downgrade = False

@@ -325,6 +325,13 @@ class RoundEngine:
                 if delivered is not None:
                     ctx.per_chain[submission.chain_id].append(delivered)
         ctx.report.total_submissions = sum(len(batch) for batch in ctx.per_chain.values())
+        if deployment.config.stream_mix:
+            # The fold above was the last reader of the per-user index, but
+            # the index still references every decoded submission — left in
+            # place it would pin the whole decoded round even after the
+            # chains release their batches at acceptance.  Streamed mode
+            # drops it here so the decoded objects die with ``per_chain``.
+            ctx.user_submissions = {}
 
     # -- precompute stage (§5.2.1 / DESIGN.md §8) ---------------------------------
 
@@ -409,9 +416,14 @@ class RoundEngine:
         it).
         """
 
+        pre_rejected: Dict[int, List[str]] = {}
+
         def run_chain(chain) -> ChainOutcome:
-            submissions = ctx.per_chain[chain.chain_id]
-            _, rejected = chain.accept_submissions(ctx.round_number, submissions)
+            if chain.chain_id in pre_rejected:
+                rejected = pre_rejected[chain.chain_id]
+            else:
+                submissions = ctx.per_chain[chain.chain_id]
+                _, rejected = chain.accept_submissions(ctx.round_number, submissions)
             result = chain.run_round(
                 ctx.round_number, retry_after_blame=ctx.spec.retry_after_blame
             )
@@ -421,6 +433,22 @@ class RoundEngine:
         if self.deployment.remote_mix is not None:
             outcomes = self.deployment.remote_mix.mix_round(ctx)
         else:
+            # Streamed chains accept up front, before any chain mixes: each
+            # acceptance re-encodes its batch into the chain's wire blob and
+            # keeps sender-only stubs for blame, so the engine can release
+            # the decoded submission list — the round's largest structure —
+            # for *every* chain before the first mix's transient working set
+            # stacks on top of it.  (Acceptance is transport-free and cheap
+            # next to mixing, so hoisting it out of the backend's fan-out
+            # does not move the online-phase clock.)
+            for chain in self.deployment.chains:
+                if not chain.stream_mix:
+                    continue
+                _, rejected = chain.accept_submissions(
+                    ctx.round_number, ctx.per_chain[chain.chain_id]
+                )
+                pre_rejected[chain.chain_id] = rejected
+                ctx.per_chain[chain.chain_id] = []
             outcomes = self.backend.map_chains(run_chain, self.deployment.chains)
         ctx.report.stage_seconds["mix"] = time.perf_counter() - started
         ctx.chain_outcomes = {outcome.chain_id: outcome for outcome in outcomes}

@@ -52,7 +52,13 @@ from repro.crypto.onion import (
     outer_layer_key,
 )
 from repro.errors import ProofError, ProtocolError
-from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage, batch_digest
+from repro.mixnet.messages import (
+    BatchEntry,
+    ClientSubmission,
+    EncodedBatch,
+    MailboxMessage,
+    batch_digest,
+)
 from repro.transport.envelope import BATCH, Envelope
 from repro.transport.inproc import InProcTransport
 
@@ -163,12 +169,30 @@ class MixStepResult:
         return bool(self.failed_indices)
 
 
+@dataclass(frozen=True, slots=True)
+class _AcceptedSender:
+    """Sender-only stand-in for an accepted submission in streamed mix mode.
+
+    The only field the retained submission list is ever read for after
+    acceptance is ``sender`` (blame attribution and the rerun filter), so
+    streamed intake keeps these stubs instead of whole submissions —
+    dropping the per-user ciphertext/proof bytes from the retained set.
+    """
+
+    sender: str
+
+
 @dataclass
 class _RoundRecord:
-    """Private per-round state a member keeps for verification and blame."""
+    """Private per-round state a member keeps for verification and blame.
 
-    inputs: List[BatchEntry] = field(default_factory=list)
-    outputs: List[BatchEntry] = field(default_factory=list)
+    In streamed mix mode ``inputs``/``outputs`` hold
+    :class:`~repro.mixnet.messages.EncodedBatch` instances — same sequence
+    interface, wire-encoded residency — instead of entry lists.
+    """
+
+    inputs: Sequence[BatchEntry] = field(default_factory=list)
+    outputs: Sequence[BatchEntry] = field(default_factory=list)
     permutation: List[int] = field(default_factory=list)
     inner_secret: Optional[int] = None
     inner_public: Optional[object] = None
@@ -353,38 +377,64 @@ class ChainMember:
         the precompute table when :meth:`precompute_round` ran for this
         round, leaving the online phase as AEAD opens + shuffle + the
         aggregate proof; otherwise both batched passes run inline.
+
+        When ``entries`` is an :class:`~repro.mixnet.messages.EncodedBatch`
+        the step runs in **streamed intake** mode: submissions decode from
+        their wire records on demand, the decoded publics and opened
+        plaintexts live only inside this call, and both the retained input
+        record and the output batch stay wire-encoded (decode →
+        outer-strip → re-encode survivor).  Every output byte is identical
+        to the eager path — only residency changes.
         """
         if self.mixing_secret is None or self.blinding_secret is None:
             raise ProtocolError("chain member has not completed key setup")
         group = self.group
         rng = self._round_rng(round_number)
         record = self._rounds.setdefault(round_number, _RoundRecord())
-        record.inputs = list(entries)
-        dh_publics = [entry.dh_public for entry in entries]
+        streamed = isinstance(entries, EncodedBatch)
+        if streamed:
+            record.inputs = entries  # immutable, blob-backed: no copy
+            dh_publics = entries.decode_publics()
+            ciphertexts = [entries.ciphertext(index) for index in range(len(entries))]
+        else:
+            record.inputs = list(entries)
+            dh_publics = [entry.dh_public for entry in entries]
+            ciphertexts = [entry.ciphertext for entry in entries]
         blinded_keys, layer_keys = self._blind_and_derive_keys(round_number, dh_publics)
         # The authenticated opens run as one keystream batch; per-entry
         # results are identical to decrypt_outer_layer.
-        opened = adec_batch(
-            layer_keys, round_number, [entry.ciphertext for entry in entries]
-        )
-        processed: List[BatchEntry] = []
+        opened = adec_batch(layer_keys, round_number, ciphertexts)
+        stripped: List[bytes] = []
         failed: List[int] = []
         for index, (ok, next_ciphertext) in enumerate(opened):
             if not ok:
                 failed.append(index)
                 next_ciphertext = b""
-            processed.append(BatchEntry(dh_public=blinded_keys[index], ciphertext=next_ciphertext or b""))
+            stripped.append(next_ciphertext or b"")
         if failed:
             record.failed_indices = failed
             return MixStepResult(position=self.position, entries=[], proof=None, failed_indices=failed)
-        permutation = list(range(len(processed)))
+        permutation = list(range(len(stripped)))
         rng.shuffle(permutation)
-        outputs = [processed[source] for source in permutation]
+        if streamed:
+            # Re-encode the survivors straight into the next wire blob; the
+            # decoded publics, blinded points, and plaintext list all die
+            # with this frame.
+            outputs: Sequence[BatchEntry] = EncodedBatch.from_parts(
+                group,
+                [group.encode(blinded_keys[source]) for source in permutation],
+                [stripped[source] for source in permutation],
+            )
+        else:
+            outputs = [
+                BatchEntry(dh_public=blinded_keys[source], ciphertext=stripped[source])
+                for source in permutation
+            ]
         record.permutation = permutation
         record.outputs = outputs
         proof = prove_dleq(
             group,
-            base1=group.sum(entry.dh_public for entry in entries) if entries else group.identity(),
+            base1=group.sum(dh_publics) if dh_publics else group.identity(),
             base2=self.base_point,
             secret=self.blinding_secret,
             context=mixing_context(self.chain_id, self.position, round_number),
@@ -505,7 +555,8 @@ class MixChain:
     """
 
     def __init__(
-        self, chain_id: int, members: Sequence[ChainMember], group, transport=None
+        self, chain_id: int, members: Sequence[ChainMember], group, transport=None,
+        stream_mix: bool = False,
     ) -> None:
         if not members:
             raise ProtocolError("a chain needs at least one member")
@@ -515,12 +566,17 @@ class MixChain:
         #: Carries the batch hand-offs between consecutive members (§6.3);
         #: the deployment wires one shared transport into every chain.
         self.transport = transport if transport is not None else InProcTransport()
+        #: Streamed intake (DESIGN.md §11.3): round batches stay in their
+        #: wire encoding (one blob per hop) and the retained submission
+        #: list shrinks to sender-only stubs.  Outputs are bit-identical to
+        #: the eager mode; only memory residency changes.
+        self.stream_mix = stream_mix
         self.public_keys: Optional[ChainPublicKeys] = None
         self._inner_publics: Dict[int, List[object]] = {}
         self._aggregate_inner: Dict[int, object] = {}
         self._submissions: Dict[int, List[ClientSubmission]] = {}
-        self._entries: Dict[int, List[BatchEntry]] = {}
-        self._history: Dict[int, List[List[BatchEntry]]] = {}
+        self._entries: Dict[int, Sequence[BatchEntry]] = {}
+        self._history: Dict[int, List[Sequence[BatchEntry]]] = {}
 
     def __len__(self) -> int:
         return len(self.members)
@@ -633,17 +689,26 @@ class MixChain:
 
     def accept_submissions(
         self, round_number: int, submissions: Sequence[ClientSubmission]
-    ) -> Tuple[List[BatchEntry], List[str]]:
+    ) -> Tuple[Sequence[BatchEntry], List[str]]:
         """Verify client NIZKs and build the round's input batch.
 
         Submissions whose knowledge-of-discrete-log proof does not verify are
         rejected immediately and their senders reported (§6.4: "the
         misbehaviour is detected and the adversary is immediately
         identified").
+
+        With ``stream_mix`` the accepted batch is returned as an
+        :class:`~repro.mixnet.messages.EncodedBatch` built directly from
+        the submissions' wire bytes, and the retained submission list holds
+        sender-only stubs — the caller may (and the engine does) drop its
+        submission references once this returns.
         """
         group = self.group
-        accepted: List[ClientSubmission] = []
+        stream = self.stream_mix
+        accepted: List[object] = []
         entries: List[BatchEntry] = []
+        element_bytes: List[bytes] = []
+        ciphertexts: List[bytes] = []
         rejected: List[str] = []
         for submission in submissions:
             if submission.chain_id != self.chain_id:
@@ -658,9 +723,22 @@ class MixChain:
             if not verify_dlog(group, group.base(), dh_public, submission.proof, context):
                 rejected.append(submission.sender)
                 continue
-            accepted.append(submission)
-            entries.append(BatchEntry(dh_public=dh_public, ciphertext=submission.ciphertext))
+            if stream:
+                # Streamed intake: keep the *wire bytes* (the decode above
+                # validated them, and every accepted encoding is canonical,
+                # so no re-encode is needed) plus a sender-only stub; the
+                # decoded point dies here.
+                accepted.append(_AcceptedSender(submission.sender))
+                element_bytes.append(submission.dh_public)
+                ciphertexts.append(submission.ciphertext)
+            else:
+                accepted.append(submission)
+                entries.append(BatchEntry(dh_public=dh_public, ciphertext=submission.ciphertext))
         self._submissions[round_number] = accepted
+        if stream:
+            batch = EncodedBatch.from_parts(group, element_bytes, ciphertexts)
+            self._entries[round_number] = batch
+            return batch, rejected
         self._entries[round_number] = entries
         return entries, rejected
 
@@ -704,9 +782,15 @@ class MixChain:
         group = self.group
         if round_number not in self._entries:
             raise ProtocolError("accept_submissions must run before run_round")
-        entries = list(self._entries[round_number])
+        stored = self._entries[round_number]
+        # An EncodedBatch is immutable and blob-backed: copying it into a
+        # list would decode the whole round up front, exactly what streamed
+        # intake exists to avoid.
+        entries: Sequence[BatchEntry] = stored if isinstance(stored, EncodedBatch) else list(stored)
         digest = batch_digest(group, entries)
-        history = [list(entries)]
+        history: List[Sequence[BatchEntry]] = [
+            entries if isinstance(entries, EncodedBatch) else list(entries)
+        ]
         rejected_senders: List[str] = []
 
         for index, member in enumerate(self.members):
@@ -727,17 +811,23 @@ class MixChain:
                         blame_verdict=verdict,
                         input_digest=digest,
                     )
-                # Remove the convicted users' submissions and rerun the round.
+                # Remove the convicted users' submissions and rerun the
+                # round.  Index-based so the streamed batch can subset its
+                # blob without decoding the survivors.
                 rejected_senders.extend(verdict.malicious_users)
-                kept = [
-                    (submission, entry)
-                    for submission, entry in zip(
-                        self._submissions[round_number], self._entries[round_number]
-                    )
-                    if submission.sender not in set(verdict.malicious_users)
+                malicious = set(verdict.malicious_users)
+                stored_submissions = self._submissions[round_number]
+                keep = [
+                    index
+                    for index, submission in enumerate(stored_submissions)
+                    if submission.sender not in malicious
                 ]
-                self._submissions[round_number] = [pair[0] for pair in kept]
-                self._entries[round_number] = [pair[1] for pair in kept]
+                self._submissions[round_number] = [stored_submissions[index] for index in keep]
+                stored_entries = self._entries[round_number]
+                if isinstance(stored_entries, EncodedBatch):
+                    self._entries[round_number] = stored_entries.select(keep)
+                else:
+                    self._entries[round_number] = [stored_entries[index] for index in keep]
                 rerun = self.run_round(round_number, retry_after_blame=retry_after_blame)
                 rerun.rejected_senders = rejected_senders + rerun.rejected_senders
                 rerun.blame_verdict = verdict
@@ -776,7 +866,7 @@ class MixChain:
             # server→server wire of §6.3); the last member's output stays
             # local for the inner-key reveal.
             entries = self._forward_batch(round_number, index, result.entries)
-            history.append(list(entries))
+            history.append(entries if isinstance(entries, EncodedBatch) else list(entries))
 
         self._history[round_number] = history
 
@@ -797,10 +887,14 @@ class MixChain:
 
         mailbox_messages: List[MailboxMessage] = []
         invalid_inner = 0
+        if isinstance(entries, EncodedBatch):
+            final_ciphertexts = (entries.ciphertext(index) for index in range(len(entries)))
+        else:
+            final_ciphertexts = (entry.ciphertext for entry in entries)
         envelopes: List[Optional[InnerEnvelope]] = []
-        for entry in entries:
+        for ciphertext in final_ciphertexts:
             try:
-                envelopes.append(InnerEnvelope.from_bytes(entry.ciphertext))
+                envelopes.append(InnerEnvelope.from_bytes(ciphertext))
             except Exception:
                 envelopes.append(None)
         parseable = [envelope for envelope in envelopes if envelope is not None]

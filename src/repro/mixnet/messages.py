@@ -17,8 +17,9 @@ honest user's, so all formats here are fixed-size for a given deployment:
 from __future__ import annotations
 
 import hashlib
+from array import array
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.constants import (
     AEAD_TAG_SIZE,
@@ -37,6 +38,7 @@ __all__ = [
     "MailboxMessage",
     "ClientSubmission",
     "BatchEntry",
+    "EncodedBatch",
     "batch_digest",
     "mailbox_message_size",
 ]
@@ -242,14 +244,138 @@ class BatchEntry:
         return cls(dh_public=dh_public, ciphertext=data[offset:offset + length]), offset + length
 
 
+class EncodedBatch(Sequence):
+    """A chain's round batch kept in its wire encoding (streamed mix mode).
+
+    One contiguous blob of concatenated :meth:`BatchEntry.to_bytes` records
+    plus an offset table — exactly the payload of a BATCH frame minus its
+    count header.  Entries decode *on demand* through :meth:`__getitem__`,
+    so holding a 100k-entry round in history costs the blob (a few MB)
+    instead of 100k decoded :class:`BatchEntry`/element objects.  The blame
+    protocol's random access and the history replay both read through the
+    same lazy window; mixing itself uses the bulk accessors
+    (:meth:`element_bytes`, :meth:`ciphertext`, :meth:`decode_publics`) to
+    avoid materialising entry objects at all.
+
+    Instances are immutable: transforms produce a new batch
+    (:meth:`select`) or build one from parts (:meth:`from_parts`).
+    """
+
+    __slots__ = ("_group", "_blob", "_offsets")
+
+    def __init__(self, group, blob: bytes, offsets: "array") -> None:
+        self._group = group
+        self._blob = blob
+        self._offsets = offsets
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_entries(cls, group, entries: Iterable[BatchEntry]) -> "EncodedBatch":
+        """Encode already-decoded entries (the eager path's output shape)."""
+        parts: List[bytes] = []
+        offsets = array("Q", [0])
+        total = 0
+        for entry in entries:
+            record = entry.to_bytes(group)
+            parts.append(record)
+            total += len(record)
+            offsets.append(total)
+        return cls(group, b"".join(parts), offsets)
+
+    @classmethod
+    def from_parts(cls, group, element_bytes: Sequence[bytes],
+                   ciphertexts: Sequence[bytes]) -> "EncodedBatch":
+        """Assemble from per-entry encoded elements and ciphertexts.
+
+        This is the zero-decode intake: ``element_bytes[i]`` must already be
+        a canonical group-element encoding (``encode(decode(d)) == d`` holds
+        for every encoding the group accepts, so validated wire bytes pass
+        through unchanged).
+        """
+        parts: List[bytes] = []
+        offsets = array("Q", [0])
+        total = 0
+        for element, ciphertext in zip(element_bytes, ciphertexts):
+            parts.append(element)
+            parts.append(len(ciphertext).to_bytes(4, "big"))
+            parts.append(ciphertext)
+            total += len(element) + 4 + len(ciphertext)
+            offsets.append(total)
+        return cls(group, b"".join(parts), offsets)
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        count = len(self)
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError("batch entry index out of range")
+        record = self._blob[self._offsets[index]:self._offsets[index + 1]]
+        return BatchEntry.from_bytes(self._group, record)
+
+    def __iter__(self) -> Iterator[BatchEntry]:
+        for index in range(len(self)):
+            yield self[index]
+
+    # -- bulk accessors (no BatchEntry materialisation) ----------------------
+
+    @property
+    def blob(self) -> bytes:
+        """The concatenated wire records (a BATCH payload minus its count)."""
+        return self._blob
+
+    def element_bytes(self, index: int) -> bytes:
+        """Entry ``index``'s encoded DH element, without decoding it."""
+        start = self._offsets[index]
+        return self._blob[start:start + self._group.element_size]
+
+    def ciphertext(self, index: int) -> bytes:
+        start = self._offsets[index] + self._group.element_size + 4
+        return self._blob[start:self._offsets[index + 1]]
+
+    def decode_publics(self) -> List[object]:
+        """Decode every entry's DH element (transient: caller drops the list)."""
+        return [self._group.decode(self.element_bytes(i)) for i in range(len(self))]
+
+    def digest_materials(self) -> List[bytes]:
+        """Per-entry ``encode(X) || ciphertext`` (the digest input layout)."""
+        return [
+            self.element_bytes(index) + self.ciphertext(index)
+            for index in range(len(self))
+        ]
+
+    def select(self, indices: Sequence[int]) -> "EncodedBatch":
+        """A new batch holding the entries at ``indices``, in that order."""
+        parts: List[bytes] = []
+        offsets = array("Q", [0])
+        total = 0
+        for index in indices:
+            record = self._blob[self._offsets[index]:self._offsets[index + 1]]
+            parts.append(record)
+            total += len(record)
+            offsets.append(total)
+        return EncodedBatch(self._group, b"".join(parts), offsets)
+
+
 def batch_digest(group, entries: Sequence[BatchEntry]) -> bytes:
     """Input-agreement digest: hash of the sorted entries (§6.3 preamble).
 
     All servers in a chain compare this digest before mixing starts so they
     agree on the round's input set.
     """
+    if isinstance(entries, EncodedBatch):
+        materials = entries.digest_materials()
+    else:
+        materials = [entry.digest_material(group) for entry in entries]
     hasher = hashlib.sha256()
-    for material in sorted(entry.digest_material(group) for entry in entries):
+    for material in sorted(materials):
         hasher.update(material)
     return hasher.digest()
 

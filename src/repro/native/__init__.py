@@ -1,0 +1,95 @@
+"""Loader for the optional ``_xrdkernels`` C extension.
+
+:func:`load` never raises: it returns the cffi ``(ffi, lib)`` pair when a
+usable extension is importable (building it lazily, once, when cffi and a
+C compiler are available), or ``None`` when it is not.  All policy about
+*whether* to use the native kernels lives in
+:mod:`repro.crypto.kernels`; this module only answers "can we?".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+# ABI stamp expected from xrd_abi_version(); mirrors XRD_KERNELS_ABI in
+# xrdkernels.c so a stale prebuilt .so is rebuilt instead of trusted.
+EXPECTED_ABI = 1
+
+_state: dict = {"probed": False, "handle": None, "error": None}
+
+
+def _import_extension():
+    from repro.native import _xrdkernels  # type: ignore[attr-defined]
+
+    return _xrdkernels.ffi, _xrdkernels.lib
+
+
+def _try_build() -> bool:
+    """One in-place build attempt; quiet failure when the toolchain is absent."""
+    try:
+        from repro.native import _build
+
+        _build.compile_extension()
+        return True
+    except Exception as exc:  # cffi missing, no compiler, read-only tree...
+        _state["error"] = exc
+        return False
+
+
+def load() -> Optional[Tuple[object, object]]:
+    """Return ``(ffi, lib)`` for the native kernels, or ``None``.
+
+    The result (including a negative one) is cached for the process; a
+    failed probe is never retried so the import/build cost is paid at
+    most once.
+    """
+    if _state["probed"]:
+        return _state["handle"]
+    _state["probed"] = True
+    if os.environ.get("XRD_NATIVE_DISABLE"):  # escape hatch for tests
+        _state["error"] = RuntimeError("disabled via XRD_NATIVE_DISABLE")
+        return None
+    try:
+        ffi, lib = _import_extension()
+    except Exception:
+        if not _try_build():
+            return None
+        try:
+            ffi, lib = _import_extension()
+        except Exception as exc:  # pragma: no cover - build said ok but import failed
+            _state["error"] = exc
+            return None
+    try:
+        abi = lib.xrd_abi_version()
+    except Exception as exc:  # pragma: no cover - malformed extension
+        _state["error"] = exc
+        return None
+    if abi != EXPECTED_ABI:
+        # Stale build from an older checkout: rebuild once, then give up.
+        if not _try_build():
+            return None
+        try:
+            import importlib
+
+            from repro.native import _xrdkernels  # type: ignore[attr-defined]
+
+            importlib.reload(_xrdkernels)
+            ffi, lib = _xrdkernels.ffi, _xrdkernels.lib
+            if lib.xrd_abi_version() != EXPECTED_ABI:  # pragma: no cover
+                return None
+        except Exception as exc:  # pragma: no cover
+            _state["error"] = exc
+            return None
+    _state["handle"] = (ffi, lib)
+    return _state["handle"]
+
+
+def load_error() -> Optional[BaseException]:
+    """The exception from the most recent failed probe/build, if any."""
+    return _state["error"]
+
+
+def reset_probe_for_tests() -> None:
+    """Forget the cached probe result (test hook only)."""
+    _state.update(probed=False, handle=None, error=None)

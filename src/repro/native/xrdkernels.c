@@ -1,0 +1,519 @@
+/* Native crypto kernels for the batched hot loops (DESIGN.md §11).
+ *
+ * Four kernel families, mirroring the pure-Python reference
+ * implementations bit for bit:
+ *
+ *   - batched ChaCha20 keystream blocks (RFC 8439 §2.3);
+ *   - ChaCha20-Poly1305 AEAD seal/open over whole batches (the
+ *     trial-decrypt cascade behind adec_batch: one counter-0 block per
+ *     message for the Poly1305 one-time key, verify-before-decrypt,
+ *     payload keystream only for survivors);
+ *   - Montgomery-form modular exponentiation over the small modp test
+ *     group: many-bases-one-exponent (scalar_mult_batch),
+ *     one-base-many-exponents (fixed_point_mult_batch), and the fused
+ *     product-of-powers accumulate.
+ *
+ * Every entry point operates on whole batches behind one C call, so the
+ * cffi wrapper releases the GIL for the duration.  All multi-byte modp
+ * values are 32-byte big-endian, exactly the ModPGroup wire encoding;
+ * ChaCha20 keys/nonces are the raw 32/12-byte strings.  Return codes:
+ * 0 on success, negative on malformed input (the Python dispatcher
+ * falls back to the reference path on any nonzero return).
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+/* Bumped whenever a signature or semantic changes; the loader refuses a
+ * stale prebuilt module and triggers a rebuild. */
+#define XRD_KERNELS_ABI 1
+
+int xrd_abi_version(void) { return XRD_KERNELS_ABI; }
+
+/* ------------------------------------------------------------------ */
+/* ChaCha20 (RFC 8439)                                                */
+/* ------------------------------------------------------------------ */
+
+static uint32_t le32(const uint8_t *p) {
+    return (uint32_t)p[0] | ((uint32_t)p[1] << 8) | ((uint32_t)p[2] << 16)
+         | ((uint32_t)p[3] << 24);
+}
+
+static void st32(uint8_t *p, uint32_t v) {
+    p[0] = (uint8_t)v;
+    p[1] = (uint8_t)(v >> 8);
+    p[2] = (uint8_t)(v >> 16);
+    p[3] = (uint8_t)(v >> 24);
+}
+
+#define ROTL32(v, n) (((v) << (n)) | ((v) >> (32 - (n))))
+#define QR(a, b, c, d)                          \
+    a += b; d ^= a; d = ROTL32(d, 16);          \
+    c += d; b ^= c; b = ROTL32(b, 12);          \
+    a += b; d ^= a; d = ROTL32(d, 8);           \
+    c += d; b ^= c; b = ROTL32(b, 7);
+
+static void chacha_block(const uint8_t key[32], uint32_t counter,
+                         const uint8_t nonce[12], uint8_t out[64]) {
+    uint32_t s[16], w[16];
+    int i;
+    s[0] = 0x61707865u; s[1] = 0x3320646Eu; s[2] = 0x79622D32u; s[3] = 0x6B206574u;
+    for (i = 0; i < 8; i++) s[4 + i] = le32(key + 4 * i);
+    s[12] = counter;
+    for (i = 0; i < 3; i++) s[13 + i] = le32(nonce + 4 * i);
+    memcpy(w, s, sizeof(s));
+    for (i = 0; i < 10; i++) {
+        QR(w[0], w[4], w[8],  w[12])
+        QR(w[1], w[5], w[9],  w[13])
+        QR(w[2], w[6], w[10], w[14])
+        QR(w[3], w[7], w[11], w[15])
+        QR(w[0], w[5], w[10], w[15])
+        QR(w[1], w[6], w[11], w[12])
+        QR(w[2], w[7], w[8],  w[13])
+        QR(w[3], w[4], w[9],  w[14])
+    }
+    for (i = 0; i < 16; i++) st32(out + 4 * i, w[i] + s[i]);
+}
+
+/* XOR `len` bytes of message against the keystream starting at `counter`. */
+static void chacha_xor(const uint8_t key[32], const uint8_t nonce[12],
+                       uint32_t counter, const uint8_t *in, size_t len,
+                       uint8_t *out) {
+    uint8_t block[64];
+    while (len) {
+        size_t n = len < 64 ? len : 64, i;
+        chacha_block(key, counter++, nonce, block);
+        for (i = 0; i < n; i++) out[i] = in[i] ^ block[i];
+        in += n; out += n; len -= n;
+    }
+}
+
+int xrd_chacha20_blocks(const uint8_t *keys, const uint8_t *nonces,
+                        const uint32_t *counters, size_t count, uint8_t *out) {
+    size_t i;
+    for (i = 0; i < count; i++)
+        chacha_block(keys + 32 * i, counters[i], nonces + 12 * i, out + 64 * i);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Poly1305 (donna-32 style: 5x26-bit limbs, 64-bit accumulators)     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    uint32_t r[5];
+    uint32_t h[5];
+    uint32_t pad[4];
+    uint8_t buffer[16];
+    size_t leftover;
+} poly1305_ctx;
+
+static void poly1305_init(poly1305_ctx *st, const uint8_t key[32]) {
+    st->r[0] = (le32(key + 0)) & 0x3ffffff;
+    st->r[1] = (le32(key + 3) >> 2) & 0x3ffff03;
+    st->r[2] = (le32(key + 6) >> 4) & 0x3ffc0ff;
+    st->r[3] = (le32(key + 9) >> 6) & 0x3f03fff;
+    st->r[4] = (le32(key + 12) >> 8) & 0x00fffff;
+    st->h[0] = st->h[1] = st->h[2] = st->h[3] = st->h[4] = 0;
+    st->pad[0] = le32(key + 16);
+    st->pad[1] = le32(key + 20);
+    st->pad[2] = le32(key + 24);
+    st->pad[3] = le32(key + 28);
+    st->leftover = 0;
+}
+
+static void poly1305_blocks(poly1305_ctx *st, const uint8_t *m, size_t bytes,
+                            uint32_t hibit) {
+    uint32_t r0 = st->r[0], r1 = st->r[1], r2 = st->r[2], r3 = st->r[3], r4 = st->r[4];
+    uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+    uint32_t h0 = st->h[0], h1 = st->h[1], h2 = st->h[2], h3 = st->h[3], h4 = st->h[4];
+    while (bytes >= 16) {
+        uint64_t d0, d1, d2, d3, d4;
+        uint32_t c;
+        h0 += (le32(m + 0)) & 0x3ffffff;
+        h1 += (le32(m + 3) >> 2) & 0x3ffffff;
+        h2 += (le32(m + 6) >> 4) & 0x3ffffff;
+        h3 += (le32(m + 9) >> 6) & 0x3ffffff;
+        h4 += (le32(m + 12) >> 8) | hibit;
+        d0 = (uint64_t)h0 * r0 + (uint64_t)h1 * s4 + (uint64_t)h2 * s3
+           + (uint64_t)h3 * s2 + (uint64_t)h4 * s1;
+        d1 = (uint64_t)h0 * r1 + (uint64_t)h1 * r0 + (uint64_t)h2 * s4
+           + (uint64_t)h3 * s3 + (uint64_t)h4 * s2;
+        d2 = (uint64_t)h0 * r2 + (uint64_t)h1 * r1 + (uint64_t)h2 * r0
+           + (uint64_t)h3 * s4 + (uint64_t)h4 * s3;
+        d3 = (uint64_t)h0 * r3 + (uint64_t)h1 * r2 + (uint64_t)h2 * r1
+           + (uint64_t)h3 * r0 + (uint64_t)h4 * s4;
+        d4 = (uint64_t)h0 * r4 + (uint64_t)h1 * r3 + (uint64_t)h2 * r2
+           + (uint64_t)h3 * r1 + (uint64_t)h4 * r0;
+        c = (uint32_t)(d0 >> 26); h0 = (uint32_t)d0 & 0x3ffffff;
+        d1 += c; c = (uint32_t)(d1 >> 26); h1 = (uint32_t)d1 & 0x3ffffff;
+        d2 += c; c = (uint32_t)(d2 >> 26); h2 = (uint32_t)d2 & 0x3ffffff;
+        d3 += c; c = (uint32_t)(d3 >> 26); h3 = (uint32_t)d3 & 0x3ffffff;
+        d4 += c; c = (uint32_t)(d4 >> 26); h4 = (uint32_t)d4 & 0x3ffffff;
+        h0 += c * 5; c = h0 >> 26; h0 &= 0x3ffffff;
+        h1 += c;
+        m += 16; bytes -= 16;
+    }
+    st->h[0] = h0; st->h[1] = h1; st->h[2] = h2; st->h[3] = h3; st->h[4] = h4;
+}
+
+static void poly1305_update(poly1305_ctx *st, const uint8_t *m, size_t bytes) {
+    if (st->leftover) {
+        size_t want = 16 - st->leftover;
+        if (want > bytes) want = bytes;
+        memcpy(st->buffer + st->leftover, m, want);
+        st->leftover += want;
+        m += want; bytes -= want;
+        if (st->leftover < 16) return;
+        poly1305_blocks(st, st->buffer, 16, 1u << 24);
+        st->leftover = 0;
+    }
+    if (bytes >= 16) {
+        size_t whole = bytes & ~(size_t)15;
+        poly1305_blocks(st, m, whole, 1u << 24);
+        m += whole; bytes -= whole;
+    }
+    if (bytes) {
+        memcpy(st->buffer, m, bytes);
+        st->leftover = bytes;
+    }
+}
+
+static void poly1305_finish(poly1305_ctx *st, uint8_t tag[16]) {
+    uint32_t h0, h1, h2, h3, h4, c;
+    uint32_t g0, g1, g2, g3, g4, mask;
+    uint64_t f;
+    if (st->leftover) {
+        size_t i = st->leftover;
+        st->buffer[i++] = 1;
+        for (; i < 16; i++) st->buffer[i] = 0;
+        poly1305_blocks(st, st->buffer, 16, 0);
+        st->leftover = 0;
+    }
+    h0 = st->h[0]; h1 = st->h[1]; h2 = st->h[2]; h3 = st->h[3]; h4 = st->h[4];
+    c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
+    c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
+    c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
+    c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
+    c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
+    g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+    g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+    g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+    g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+    g4 = h4 + c - (1u << 26);
+    mask = (g4 >> 31) - 1;
+    g0 &= mask; g1 &= mask; g2 &= mask; g3 &= mask; g4 &= mask;
+    mask = ~mask;
+    h0 = (h0 & mask) | g0; h1 = (h1 & mask) | g1; h2 = (h2 & mask) | g2;
+    h3 = (h3 & mask) | g3; h4 = (h4 & mask) | g4;
+    h0 = (h0) | (h1 << 26);
+    h1 = (h1 >> 6) | (h2 << 20);
+    h2 = (h2 >> 12) | (h3 << 14);
+    h3 = (h3 >> 18) | (h4 << 8);
+    f = (uint64_t)h0 + st->pad[0]; h0 = (uint32_t)f;
+    f = (uint64_t)h1 + st->pad[1] + (f >> 32); h1 = (uint32_t)f;
+    f = (uint64_t)h2 + st->pad[2] + (f >> 32); h2 = (uint32_t)f;
+    f = (uint64_t)h3 + st->pad[3] + (f >> 32); h3 = (uint32_t)f;
+    st32(tag + 0, h0); st32(tag + 4, h1); st32(tag + 8, h2); st32(tag + 12, h3);
+}
+
+/* ------------------------------------------------------------------ */
+/* ChaCha20-Poly1305 AEAD batches (encrypt-then-MAC, RFC 8439 §2.8)   */
+/* ------------------------------------------------------------------ */
+
+/* tag = Poly1305(pad16(aad) || pad16(ct) || le64(|aad|) || le64(|ct|))
+ * under the one-time key from the message's counter-0 block. */
+static void aead_tag(const uint8_t otk[32], const uint8_t *aad, size_t aad_len,
+                     const uint8_t *ct, size_t ct_len, uint8_t tag[16]) {
+    static const uint8_t zeros[16] = {0};
+    uint8_t lengths[16];
+    poly1305_ctx st;
+    poly1305_init(&st, otk);
+    poly1305_update(&st, aad, aad_len);
+    if (aad_len % 16) poly1305_update(&st, zeros, 16 - aad_len % 16);
+    poly1305_update(&st, ct, ct_len);
+    if (ct_len % 16) poly1305_update(&st, zeros, 16 - ct_len % 16);
+    st32(lengths + 0, (uint32_t)aad_len);
+    st32(lengths + 4, (uint32_t)((uint64_t)aad_len >> 32));
+    st32(lengths + 8, (uint32_t)ct_len);
+    st32(lengths + 12, (uint32_t)((uint64_t)ct_len >> 32));
+    poly1305_update(&st, lengths, 16);
+    poly1305_finish(&st, tag);
+}
+
+int xrd_aead_seal_batch(const uint8_t *keys, const uint8_t *nonces, size_t count,
+                        const uint8_t *plains, const uint64_t *pt_offsets,
+                        const uint8_t *aad, size_t aad_len,
+                        uint8_t *out, const uint64_t *out_offsets) {
+    size_t i;
+    uint8_t otk_block[64];
+    for (i = 0; i < count; i++) {
+        const uint8_t *key = keys + 32 * i;
+        const uint8_t *nonce = nonces + 12 * i;
+        size_t pt_len = (size_t)(pt_offsets[i + 1] - pt_offsets[i]);
+        uint8_t *dst = out + out_offsets[i];
+        if (out_offsets[i + 1] - out_offsets[i] != pt_len + 16) return -1;
+        chacha_xor(key, nonce, 1, plains + pt_offsets[i], pt_len, dst);
+        chacha_block(key, 0, nonce, otk_block);
+        aead_tag(otk_block, aad, aad_len, dst, pt_len, dst + pt_len);
+    }
+    return 0;
+}
+
+int xrd_aead_open_batch(const uint8_t *keys, const uint8_t *nonces, size_t count,
+                        const uint8_t *datas, const uint64_t *ct_offsets,
+                        const uint8_t *aad, size_t aad_len,
+                        uint8_t *plain_out, const uint64_t *pt_offsets,
+                        uint8_t *ok_out) {
+    size_t i;
+    uint8_t otk_block[64], tag[16];
+    for (i = 0; i < count; i++) {
+        const uint8_t *key = keys + 32 * i;
+        const uint8_t *nonce = nonces + 12 * i;
+        size_t data_len = (size_t)(ct_offsets[i + 1] - ct_offsets[i]);
+        const uint8_t *data = datas + ct_offsets[i];
+        size_t ct_len;
+        ok_out[i] = 0;
+        if (data_len < 16) continue;  /* shorter than a tag: reject */
+        ct_len = data_len - 16;
+        if (pt_offsets[i + 1] - pt_offsets[i] != ct_len) return -1;
+        /* Verify before decrypt: the trial-decrypt cascade fails by
+         * design, so payload keystream is only spent on survivors. */
+        chacha_block(key, 0, nonce, otk_block);
+        aead_tag(otk_block, aad, aad_len, data, ct_len, tag);
+        if (memcmp(tag, data + ct_len, 16) != 0) continue;
+        chacha_xor(key, nonce, 1, data, ct_len, plain_out + pt_offsets[i]);
+        ok_out[i] = 1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Montgomery-form modular exponentiation (modp group, p < 2^256)     */
+/* ------------------------------------------------------------------ */
+
+#define MAXL 4  /* 4 x 64-bit limbs cover the 32-byte element encoding */
+
+typedef struct {
+    uint64_t p[MAXL];
+    uint64_t one[MAXL];  /* R mod p (the Montgomery representation of 1) */
+    uint64_t rr[MAXL];   /* R^2 mod p (converts into Montgomery form)    */
+    uint64_t n0;         /* -p^-1 mod 2^64                               */
+    int n;               /* active limb count                            */
+} mont_ctx;
+
+/* 32-byte big-endian -> little-endian limbs. */
+static void be_load(const uint8_t in[32], uint64_t out[MAXL]) {
+    int i, j;
+    for (i = 0; i < MAXL; i++) {
+        uint64_t v = 0;
+        for (j = 0; j < 8; j++) v = (v << 8) | in[(MAXL - 1 - i) * 8 + j];
+        out[i] = v;
+    }
+}
+
+static void be_store(const uint64_t in[MAXL], uint8_t out[32]) {
+    int i, j;
+    for (i = 0; i < MAXL; i++) {
+        uint64_t v = in[i];
+        for (j = 7; j >= 0; j--) {
+            out[(MAXL - 1 - i) * 8 + j] = (uint8_t)v;
+            v >>= 8;
+        }
+    }
+}
+
+static int limb_geq(const uint64_t *a, const uint64_t *b, int n) {
+    int i;
+    for (i = n - 1; i >= 0; i--) {
+        if (a[i] > b[i]) return 1;
+        if (a[i] < b[i]) return 0;
+    }
+    return 1;
+}
+
+static void limb_sub(uint64_t *a, const uint64_t *b, int n) {
+    uint64_t borrow = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        unsigned __int128 d = (unsigned __int128)a[i] - b[i] - borrow;
+        a[i] = (uint64_t)d;
+        borrow = (uint64_t)(d >> 64) & 1;
+    }
+}
+
+/* Newton iteration for -p^-1 mod 2^64 (p odd). */
+static uint64_t inv64(uint64_t p0) {
+    uint64_t x = p0;
+    int i;
+    for (i = 0; i < 5; i++) x *= 2 - p0 * x;
+    return (uint64_t)0 - x;
+}
+
+/* CIOS Montgomery multiplication: out = a * b * R^-1 mod p. */
+static void mont_mul(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                     const mont_ctx *m) {
+    uint64_t t[MAXL + 2] = {0};
+    const uint64_t *p = m->p;
+    int n = m->n, i, j;
+    for (i = 0; i < n; i++) {
+        unsigned __int128 c = 0;
+        uint64_t mi;
+        for (j = 0; j < n; j++) {
+            c = (unsigned __int128)a[i] * b[j] + t[j] + (uint64_t)c;
+            t[j] = (uint64_t)c;
+            c >>= 64;
+        }
+        c = (unsigned __int128)t[n] + (uint64_t)c;
+        t[n] = (uint64_t)c;
+        t[n + 1] = (uint64_t)(c >> 64);
+        mi = t[0] * m->n0;
+        c = (unsigned __int128)mi * p[0] + t[0];
+        c >>= 64;
+        for (j = 1; j < n; j++) {
+            c = (unsigned __int128)mi * p[j] + t[j] + (uint64_t)c;
+            t[j - 1] = (uint64_t)c;
+            c >>= 64;
+        }
+        c = (unsigned __int128)t[n] + (uint64_t)c;
+        t[n - 1] = (uint64_t)c;
+        t[n] = t[n + 1] + (uint64_t)(c >> 64);
+    }
+    if (t[n] || limb_geq(t, p, n)) limb_sub(t, p, n);
+    for (i = 0; i < n; i++) out[i] = t[i];
+    for (; i < MAXL; i++) out[i] = 0;
+}
+
+/* value = 2 * value mod p, for value < p. */
+static void mod_double(uint64_t *v, const uint64_t *p, int n) {
+    uint64_t carry = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        uint64_t next = (v[i] << 1) | carry;
+        carry = v[i] >> 63;
+        v[i] = next;
+    }
+    if (carry || limb_geq(v, p, n)) limb_sub(v, p, n);
+}
+
+static int mont_init(mont_ctx *m, const uint8_t prime[32]) {
+    uint64_t p[MAXL];
+    int n = MAXL, i;
+    be_load(prime, p);
+    while (n > 1 && p[n - 1] == 0) n--;
+    if ((p[0] & 1) == 0) return -1;           /* modulus must be odd */
+    if (n == 1 && p[0] <= 2) return -1;
+    m->n = n;
+    memcpy(m->p, p, sizeof(p));
+    m->n0 = inv64(p[0]);
+    /* one = R mod p by 64n modular doublings of 1; rr = R^2 mod p by
+     * 64n more (R * 2^(64n) = R^2). */
+    memset(m->one, 0, sizeof(m->one));
+    m->one[0] = 1;
+    for (i = 0; i < 64 * n; i++) mod_double(m->one, p, n);
+    memcpy(m->rr, m->one, sizeof(m->rr));
+    for (i = 0; i < 64 * n; i++) mod_double(m->rr, p, n);
+    return 0;
+}
+
+/* Build the 4-bit window table [1, b, b^2, ..., b^15] in Montgomery form. */
+static void mont_pow_table(const mont_ctx *m, const uint64_t *base_m,
+                           uint64_t table[16][MAXL]) {
+    int i;
+    memcpy(table[0], m->one, sizeof(table[0]));
+    memcpy(table[1], base_m, sizeof(table[1]));
+    for (i = 2; i < 16; i++) mont_mul(table[i], table[i - 1], base_m, m);
+}
+
+/* acc (Montgomery form) = base^exp via a left-to-right 4-bit window over
+ * the 32-byte big-endian exponent, using a prebuilt table. */
+static void mont_pow_with_table(const mont_ctx *m, uint64_t table[16][MAXL],
+                                const uint8_t exp[32], uint64_t *acc) {
+    int started = 0, i, half;
+    memcpy(acc, m->one, MAXL * sizeof(uint64_t));
+    for (i = 0; i < 32; i++) {
+        for (half = 0; half < 2; half++) {
+            int d = half ? (exp[i] & 0xF) : (exp[i] >> 4);
+            if (!started) {
+                if (!d) continue;
+                memcpy(acc, table[d], MAXL * sizeof(uint64_t));
+                started = 1;
+                continue;
+            }
+            mont_mul(acc, acc, acc, m);
+            mont_mul(acc, acc, acc, m);
+            mont_mul(acc, acc, acc, m);
+            mont_mul(acc, acc, acc, m);
+            if (d) mont_mul(acc, acc, table[d], m);
+        }
+    }
+}
+
+/* Load one 32-byte big-endian element, requiring element < p. */
+static int load_element(const mont_ctx *m, const uint8_t *enc, uint64_t *out_m) {
+    uint64_t v[MAXL];
+    int i;
+    be_load(enc, v);
+    for (i = m->n; i < MAXL; i++)
+        if (v[i]) return -1;
+    if (limb_geq(v, m->p, m->n)) return -1;
+    mont_mul(out_m, v, m->rr, m);  /* into Montgomery form */
+    return 0;
+}
+
+static void store_element(const mont_ctx *m, const uint64_t *val_m, uint8_t *out) {
+    uint64_t one[MAXL] = {1, 0, 0, 0}, v[MAXL];
+    mont_mul(v, val_m, one, m);  /* out of Montgomery form */
+    be_store(v, out);
+}
+
+int xrd_modp_scalar_mult_batch(const uint8_t *prime, const uint8_t *elements,
+                               size_t count, const uint8_t *exponent,
+                               uint8_t *out) {
+    mont_ctx m;
+    uint64_t table[16][MAXL], base_m[MAXL], acc[MAXL];
+    size_t i;
+    if (mont_init(&m, prime) != 0) return -1;
+    for (i = 0; i < count; i++) {
+        if (load_element(&m, elements + 32 * i, base_m) != 0) return -2;
+        mont_pow_table(&m, base_m, table);
+        mont_pow_with_table(&m, table, exponent, acc);
+        store_element(&m, acc, out + 32 * i);
+    }
+    return 0;
+}
+
+int xrd_modp_fixed_mult_batch(const uint8_t *prime, const uint8_t *element,
+                              const uint8_t *exponents, size_t count,
+                              uint8_t *out) {
+    mont_ctx m;
+    uint64_t table[16][MAXL], base_m[MAXL], acc[MAXL];
+    size_t i;
+    if (mont_init(&m, prime) != 0) return -1;
+    if (load_element(&m, element, base_m) != 0) return -2;
+    mont_pow_table(&m, base_m, table);
+    for (i = 0; i < count; i++) {
+        mont_pow_with_table(&m, table, exponents + 32 * i, acc);
+        store_element(&m, acc, out + 32 * i);
+    }
+    return 0;
+}
+
+int xrd_modp_multi_scalar_accumulate(const uint8_t *prime,
+                                     const uint8_t *elements,
+                                     const uint8_t *exponents, size_t count,
+                                     uint8_t *out) {
+    mont_ctx m;
+    uint64_t table[16][MAXL], base_m[MAXL], acc[MAXL], total[MAXL];
+    size_t i;
+    if (mont_init(&m, prime) != 0) return -1;
+    memcpy(total, m.one, sizeof(total));
+    for (i = 0; i < count; i++) {
+        if (load_element(&m, elements + 32 * i, base_m) != 0) return -2;
+        mont_pow_table(&m, base_m, table);
+        mont_pow_with_table(&m, table, exponents + 32 * i, acc);
+        mont_mul(total, total, acc, &m);
+    }
+    store_element(&m, total, out);
+    return 0;
+}

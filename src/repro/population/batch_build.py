@@ -76,6 +76,7 @@ def build_chain_submissions(
     if not entries:
         return []
     chain_id = view.chain_id
+    base = group.base()
 
     # 1. Seal the mailbox bodies: MailboxMessage.seal for the whole chain.
     sealed = aenc_batch(
@@ -86,8 +87,11 @@ def build_chain_submissions(
     mailbox_bytes = [entry.recipient + body for entry, body in zip(entries, sealed)]
 
     # 2. Inner envelopes under the aggregate inner key (encrypt_inner).
+    #    g^y runs through the fixed-point batch too: the Ed25519 comb makes
+    #    it a wash there, but the modp native kernel amortises one window
+    #    table over the chain.
     inner_scalars = [entry.inner_scalar for entry in entries]
-    inner_publics = [group.base_mult(scalar) for scalar in inner_scalars]
+    inner_publics = fixed_point_mult_batch(group, base, inner_scalars)
     inner_shared = fixed_point_mult_batch(group, view.aggregate_inner_public, inner_scalars)
     inner_keys = [inner_envelope_key(group, shared) for shared in inner_shared]
     inner_cts = aenc_batch(inner_keys, round_number, mailbox_bytes)
@@ -105,13 +109,18 @@ def build_chain_submissions(
         payloads = aenc_batch(layer_keys, round_number, payloads)
 
     # 4. DH publics and Schnorr proofs (prove_dlog with X_i precomputed).
-    base = group.base()
+    #    g^x and g^k are two more fixed-point passes over the base.
     base_encoded = group.encode(base)
+    dh_publics = fixed_point_mult_batch(group, base, outer_scalars)
+    nonce_commitments = fixed_point_mult_batch(
+        group, base, [entry.nonce_scalar for entry in entries]
+    )
     submissions: List[ClientSubmission] = []
-    for entry, ciphertext in zip(entries, payloads):
-        dh_public = group.base_mult(entry.outer_scalar)
+    for entry, ciphertext, dh_public, nonce_public in zip(
+        entries, payloads, dh_publics, nonce_commitments
+    ):
         dh_encoded = group.encode(dh_public)
-        commitment = group.encode(group.base_mult(entry.nonce_scalar))
+        commitment = group.encode(nonce_public)
         challenge = group.hash_to_scalar(
             NIZK_LABEL_DLOG,
             base_encoded,

@@ -41,10 +41,12 @@ __all__ = [
     "TransportKind",
     "ExecutionBackendKind",
     "PopulationKind",
+    "CryptoKernelKind",
     "ComponentRegistry",
     "TRANSPORTS",
     "EXECUTION_BACKENDS",
     "POPULATIONS",
+    "CRYPTO_KERNELS",
 ]
 
 
@@ -69,6 +71,21 @@ class PopulationKind(str, Enum):
 
     OBJECT = "object"
     BATCHED = "batched"
+
+
+class CryptoKernelKind(str, Enum):
+    """Which implementation tier runs the batched crypto hot loops
+    (DESIGN.md §11).
+
+    ``PYTHON`` is the scalar reference everywhere, ``NUMPY`` adds the
+    vectorised ChaCha20 columns, ``NATIVE`` adds the ``_xrdkernels`` C
+    extension with transparent per-function fallback to the lower tiers.
+    All three are bit-identical; the parity matrix enforces it.
+    """
+
+    PYTHON = "python"
+    NUMPY = "numpy"
+    NATIVE = "native"
 
 
 #: A config knob value: the typed enum member, or (deprecated / third-party)
@@ -166,3 +183,4 @@ class ComponentRegistry:
 TRANSPORTS = ComponentRegistry("transport", TransportKind)
 EXECUTION_BACKENDS = ComponentRegistry("execution backend", ExecutionBackendKind)
 POPULATIONS = ComponentRegistry("population", PopulationKind)
+CRYPTO_KERNELS = ComponentRegistry("crypto kernel", CryptoKernelKind)

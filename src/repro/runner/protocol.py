@@ -29,7 +29,12 @@ from typing import Dict, Tuple
 from repro.coordinator.network import DeploymentConfig
 from repro.errors import DecodingError
 from repro.faults.plan import FaultPlan, ServerFault, UserFault
-from repro.registry import ExecutionBackendKind, PopulationKind, TransportKind
+from repro.registry import (
+    CryptoKernelKind,
+    ExecutionBackendKind,
+    PopulationKind,
+    TransportKind,
+)
 from repro.transport.faulty import LinkFault
 
 __all__ = [
@@ -125,6 +130,7 @@ _KNOB_ENUMS = {
     "execution_backend": ExecutionBackendKind,
     "transport": TransportKind,
     "population": PopulationKind,
+    "crypto_kernel": CryptoKernelKind,
 }
 
 

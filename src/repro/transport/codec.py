@@ -24,7 +24,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Sequence
 
 from repro.errors import DecodingError
-from repro.mixnet.messages import BatchEntry, ClientSubmission, MailboxMessage
+from repro.mixnet.messages import (
+    BatchEntry,
+    ClientSubmission,
+    EncodedBatch,
+    MailboxMessage,
+)
 from repro.transport import envelope as ev
 from repro.transport.envelope import Envelope
 
@@ -198,6 +203,10 @@ def encode_payload(group, envelope: Envelope) -> bytes:
         return _encode_submission_batch(envelope.payload)
     if kind == ev.BATCH:
         entries: Sequence[BatchEntry] = envelope.payload
+        if isinstance(entries, EncodedBatch):
+            # Streamed batches already *are* their wire records — prepend
+            # the count and ship the blob without materialising entries.
+            return len(entries).to_bytes(4, "big") + entries.blob
         parts = [len(entries).to_bytes(4, "big")]
         parts.extend(entry.to_bytes(group) for entry in entries)
         return b"".join(parts)

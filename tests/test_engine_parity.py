@@ -784,3 +784,182 @@ class TestDistributedParity:
         assert statuses[2]["0"] == "halted-blame"
         assert summary["evicted_servers"] == ["server-0"]
         assert summary["recoveries"], "the scenario must include a recovery round"
+
+    def test_localhost_tcp_streamed_native_matches_reference(self):
+        """The new axes survive real process separation: every role process
+        resolves the native tier (or its documented downgrade) from the
+        shipped config and keeps its chains' batches wire-resident, and
+        the scenario — tamper, blame, recovery included — still matches
+        the eager in-process python-tier reference bit for bit."""
+        import warnings as _warnings
+
+        from repro.crypto import kernels
+        from repro.faults.runner import ScenarioRunner
+        from repro.faults.scenarios import tamper_and_recover
+        from repro.registry import CryptoKernelKind
+        from repro.runner import protocol
+        from repro.runner.harness import run_localhost
+
+        base = dict(
+            num_servers=4,
+            num_users=6,
+            num_chains=3,
+            chain_length=2,
+            seed=42,
+            group_kind="modp",
+            max_workers=2,
+        )
+        plan = tamper_and_recover()
+
+        reference_deployment = Deployment.create(DeploymentConfig(**base))
+        try:
+            reference = ScenarioRunner(reference_deployment, plan).run()
+        finally:
+            reference_deployment.close()
+        expected = protocol.scenario_summary(reference)
+
+        kernels.reset_kernel_for_tests()
+        try:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", RuntimeWarning)
+                config = DeploymentConfig(
+                    **base,
+                    crypto_kernel=CryptoKernelKind.NATIVE,
+                    stream_mix=True,
+                )
+                summary = run_localhost(config, plan, num_mix=2, timeout=240.0)
+        finally:
+            kernels.reset_kernel_for_tests()
+
+        assert summary == expected
+        assert summary["canonical"] == reference.canonical_bytes().hex()
+
+
+#: The crypto-kernel axis (DESIGN.md §11): every tier must be bit-identical.
+#: ``native`` cells run even without the extension — the documented
+#: downgrade path resolves them to the best lower tier, so the cell then
+#: re-proves that tier (and proves the downgrade harmless) instead of
+#: skipping.
+KERNELS = ("python", "numpy", "native")
+
+
+class TestCryptoKernelStreamParity:
+    """Kernel tiers × streamed mix are unobservable (DESIGN.md §11).
+
+    The tentpole's acceptance matrix: {python, numpy, native} crypto
+    kernels × {eager, streamed} mix intake, over the six-round
+    conversation script, against the all-reference cell (python kernels,
+    eager mix).  ``canonical_bytes`` equality means the tier and the
+    batch residency model are both invisible in every observable byte —
+    delivered messages, rejections, statuses, mailbox contents.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _kernel_state(self):
+        from repro.crypto import kernels
+
+        kernels.reset_kernel_for_tests()
+        yield
+        kernels.reset_kernel_for_tests()
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        from repro.crypto import kernels
+        from repro.registry import CryptoKernelKind
+
+        kernels.reset_kernel_for_tests()
+        try:
+            deployment = build(
+                "serial", transport="inproc",
+                crypto_kernel=CryptoKernelKind.PYTHON, stream_mix=False,
+            )
+            return fingerprints(deployment.run_rounds(conversation_script(deployment)))
+        finally:
+            kernels.reset_kernel_for_tests()
+
+    @pytest.mark.parametrize("stream_mix", (False, True))
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_kernel_stream_cell(self, reference, kernel, stream_mix, transport):
+        import warnings as _warnings
+
+        from repro.registry import CryptoKernelKind
+
+        with _warnings.catch_warnings():
+            # The native cell may legitimately downgrade on a box with no
+            # C toolchain; the warning is the contract, not a failure.
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            deployment = build(
+                transport=transport,
+                crypto_kernel=CryptoKernelKind(kernel),
+                stream_mix=stream_mix,
+            )
+            actual = fingerprints(
+                deployment.run_rounds(conversation_script(deployment))
+            )
+            deployment.close()
+        assert actual == reference
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_kernel_stream_blame_recovery(self, kernel):
+        """Blame, eviction, and chain re-formation under streamed intake.
+
+        The streamed chain retains only sender stubs and the wire blob;
+        this proves that is enough state for the whole blame arc — the
+        accusation, the history replay, the re-formed chain's rounds —
+        to match the eager reference byte for byte, on every tier.
+        """
+        import warnings as _warnings
+
+        from repro.faults.scenarios import tamper_and_recover
+        from repro.registry import CryptoKernelKind
+        from tests.test_faults import run_scenario
+
+        expected = run_scenario(tamper_and_recover()).canonical_bytes()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            for backend, staggered in (("serial", False), ("multiprocess", True)):
+                report = run_scenario(
+                    tamper_and_recover(), backend, staggered,
+                    crypto_kernel=CryptoKernelKind(kernel), stream_mix=True,
+                )
+                assert report.canonical_bytes() == expected
+
+    @pytest.mark.parametrize("stream_mix", (False, True))
+    def test_kernel_stream_with_batched_population(self, reference, stream_mix):
+        """The population fast path composes with both new axes."""
+        from repro.registry import CryptoKernelKind
+
+        deployment = build(
+            population="batched",
+            crypto_kernel=CryptoKernelKind.NATIVE if _native_available()
+            else CryptoKernelKind.PYTHON,
+            stream_mix=stream_mix,
+        )
+        actual = fingerprints(deployment.run_rounds(conversation_script(deployment)))
+        deployment.close()
+        assert actual == reference
+
+    def test_streamed_entries_are_wire_resident(self):
+        """The streamed chain really holds EncodedBatch + sender stubs, not
+        decoded entries — the retained-memory claim's structural half."""
+        from repro.mixnet.messages import EncodedBatch
+        from repro.registry import CryptoKernelKind
+
+        deployment = build(
+            crypto_kernel=CryptoKernelKind.PYTHON, stream_mix=True
+        )
+        deployment.run_round()
+        chain = deployment.chains[0]
+        stored = chain._entries[1]
+        assert isinstance(stored, EncodedBatch)
+        for submission in chain._submissions[1]:
+            assert not hasattr(submission, "ciphertext")
+            assert isinstance(submission.sender, str)
+        deployment.close()
+
+
+def _native_available():
+    from repro.crypto import kernels
+
+    return kernels.native_available()

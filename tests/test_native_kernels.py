@@ -1,0 +1,459 @@
+"""Differential fuzzers and tier plumbing for the native crypto kernels.
+
+Every kernel the ``_xrdkernels`` cffi extension implements is held
+bit-identical to its Python reference here, under hypothesis-driven inputs:
+random keys/nonces/lengths for the symmetric kernels, moduli across every
+limb count and scalars at the group-order edges for the Montgomery kernels,
+plus the structural edges (empty batches, single-entry batches, forged
+tags, short ciphertexts).  The fuzzers call the :mod:`repro.crypto.kernels`
+wrappers directly — the same entry points the hot loops dispatch through —
+so a mismatch pins the exact kernel, not a composite code path.
+
+The tier-selection machinery (lazy resolution, env override, downgrade
+warning, registry factories, ``DeploymentConfig.crypto_kernel``) is tested
+unconditionally; the differential classes skip as a block when the
+extension is unavailable (no C compiler), which is itself the documented
+degraded mode.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import aead, chacha20, kernels
+from repro.crypto import group as group_mod
+from repro.crypto.aead import adec, aenc
+from repro.crypto.chacha20 import chacha20_block
+from repro.crypto.group import (
+    Ed25519Group,
+    reset_window_table_caches,
+)
+from repro.errors import ConfigurationError, CryptoError
+from repro.registry import CRYPTO_KERNELS, CryptoKernelKind
+
+NATIVE = kernels.native_available()
+
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason="_xrdkernels extension not built (no C compiler?)"
+)
+
+
+@pytest.fixture(autouse=True)
+def _kernel_state():
+    """Every test starts and ends with the lazily-resolved default tier."""
+    kernels.reset_kernel_for_tests()
+    yield
+    kernels.reset_kernel_for_tests()
+
+
+# -- strategies --------------------------------------------------------------
+
+keys_st = st.binary(min_size=32, max_size=32)
+nonces_st = st.binary(min_size=12, max_size=12)
+counters_st = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: Odd moduli across every runtime limb count the Montgomery code supports
+#: (1–4 × 64-bit), including the deployment curve-scale prime 2^255 − 19
+#: and a non-prime odd modulus (the kernel is modular exponentiation, not
+#: field arithmetic — the reference ``pow`` accepts any odd modulus).
+MODULI = (
+    2**61 - 1,
+    2**89 - 1,
+    2**127 - 1,
+    2**192 - 2**64 - 1,
+    2**255 - 19,
+    (2**96 - 17) * 3,
+)
+
+
+def _elements_st(modulus):
+    edge = st.sampled_from([0, 1, modulus - 1])
+    return st.lists(
+        st.integers(min_value=0, max_value=modulus - 1) | edge,
+        min_size=0,
+        max_size=12,
+    )
+
+
+def _exponent_st(modulus):
+    # The callers reduce mod the group order first, so the kernel contract
+    # is any exponent in [0, 2^256); exercise the order edges explicitly.
+    order = modulus - 1
+    return st.integers(min_value=0, max_value=2**256 - 1) | st.sampled_from(
+        [0, 1, order - 1, order, order + 1]
+    )
+
+
+# -- differential fuzzers ----------------------------------------------------
+
+
+@needs_native
+class TestChaChaDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(keys_st, nonces_st, counters_st), min_size=0, max_size=20)
+    )
+    def test_blocks_match_reference(self, items):
+        kernels.set_active_kernel("native")
+        keys = [k for k, _, _ in items]
+        nonces = [n for _, n, _ in items]
+        counters = [c for _, _, c in items]
+        native = kernels.chacha20_blocks(keys, nonces, counters)
+        reference = b"".join(
+            chacha20_block(k, c, n) for k, n, c in zip(keys, nonces, counters)
+        )
+        assert native == reference
+
+    def test_single_block(self):
+        kernels.set_active_kernel("native")
+        native = kernels.chacha20_blocks([b"\x01" * 32], [b"\x02" * 12], [2**32 - 1])
+        assert native == chacha20_block(b"\x01" * 32, 2**32 - 1, b"\x02" * 12)
+
+    def test_empty_batch(self):
+        kernels.set_active_kernel("native")
+        assert kernels.chacha20_blocks([], [], []) == b""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(keys_st, nonces_st, counters_st), min_size=1, max_size=40))
+    def test_batch_entry_point_is_tier_invariant(self, items):
+        """The public ``chacha20_blocks_batch`` is bit-identical across tiers."""
+        keys = [k for k, _, _ in items]
+        nonces = [n for _, n, _ in items]
+        counters = [c for _, _, c in items]
+        outputs = []
+        for tier in ("python", "numpy", "native"):
+            kernels.set_active_kernel(tier)
+            outputs.append(chacha20.chacha20_blocks_batch(keys, nonces, counters))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+@needs_native
+class TestAeadDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(keys_st, nonces_st, st.binary(min_size=0, max_size=200)),
+            min_size=0,
+            max_size=12,
+        ),
+        st.binary(min_size=0, max_size=40),
+    )
+    def test_seal_matches_reference(self, items, aad):
+        kernels.set_active_kernel("native")
+        keys = [k for k, _, _ in items]
+        nonces = [n for _, n, _ in items]
+        plains = [p for _, _, p in items]
+        native = kernels.aead_seal_batch(keys, nonces, plains, aad)
+        reference = [aenc(k, n, p, aad) for k, n, p in zip(keys, nonces, plains)]
+        assert native == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(keys_st, nonces_st, st.binary(min_size=0, max_size=200)),
+            min_size=1,
+            max_size=12,
+        ),
+        st.binary(min_size=0, max_size=40),
+        st.data(),
+    )
+    def test_open_matches_reference_with_forgeries(self, items, aad, data):
+        kernels.set_active_kernel("native")
+        keys = [k for k, _, _ in items]
+        nonces = [n for _, n, _ in items]
+        sealed = [aenc(k, n, p, aad) for k, n, p in items]
+        # Corrupt a random subset: bit-flips (in ciphertext or tag) and
+        # truncations below one tag — every one must come back (False, None).
+        for index in range(len(sealed)):
+            action = data.draw(
+                st.sampled_from(["keep", "flip", "truncate"]), label=f"action[{index}]"
+            )
+            if action == "flip":
+                pos = data.draw(
+                    st.integers(0, len(sealed[index]) - 1), label=f"pos[{index}]"
+                )
+                corrupted = bytearray(sealed[index])
+                corrupted[pos] ^= 0x01
+                sealed[index] = bytes(corrupted)
+            elif action == "truncate":
+                sealed[index] = sealed[index][: data.draw(st.integers(0, 15))]
+        native = kernels.aead_open_batch(keys, nonces, sealed, aad)
+        reference = [adec(k, n, d, aad) for k, n, d in zip(keys, nonces, sealed)]
+        assert native == reference
+
+    def test_wrong_key_rejected(self):
+        kernels.set_active_kernel("native")
+        sealed = aenc(b"\x01" * 32, b"\x00" * 12, b"secret", b"")
+        [(ok, plain)] = kernels.aead_open_batch(
+            [b"\x02" * 32], [b"\x00" * 12], [sealed], b""
+        )
+        assert (ok, plain) == (False, None)
+
+    def test_empty_batches(self):
+        kernels.set_active_kernel("native")
+        assert kernels.aead_seal_batch([], [], [], b"") == []
+        assert kernels.aead_open_batch([], [], [], b"") == []
+
+
+@needs_native
+class TestModPDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(MODULI), st.data())
+    def test_scalar_mult_batch(self, modulus, data):
+        kernels.set_active_kernel("native")
+        elements = data.draw(_elements_st(modulus), label="elements")
+        exponent = data.draw(_exponent_st(modulus), label="exponent")
+        native = kernels.modp_scalar_mult_batch(modulus, elements, exponent)
+        assert native == [pow(e, exponent, modulus) for e in elements]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(MODULI), st.data())
+    def test_fixed_mult_batch(self, modulus, data):
+        kernels.set_active_kernel("native")
+        element = data.draw(
+            st.integers(min_value=0, max_value=modulus - 1), label="element"
+        )
+        exponents = data.draw(
+            st.lists(_exponent_st(modulus), min_size=0, max_size=12), label="exponents"
+        )
+        native = kernels.modp_fixed_mult_batch(modulus, element, exponents)
+        assert native == [pow(element, x, modulus) for x in exponents]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(MODULI), st.data())
+    def test_multi_scalar_accumulate(self, modulus, data):
+        kernels.set_active_kernel("native")
+        elements = data.draw(_elements_st(modulus), label="elements")
+        exponents = data.draw(
+            st.lists(_exponent_st(modulus), min_size=len(elements), max_size=len(elements)),
+            label="exponents",
+        )
+        native = kernels.modp_multi_scalar_accumulate(modulus, elements, exponents)
+        expected = 1
+        for e, x in zip(elements, exponents):
+            expected = expected * pow(e, x, modulus) % modulus
+        assert native == expected
+
+    def test_single_element_batches(self):
+        kernels.set_active_kernel("native")
+        p = 2**127 - 1
+        assert kernels.modp_scalar_mult_batch(p, [5], 3) == [125]
+        assert kernels.modp_fixed_mult_batch(p, 5, [3]) == [125]
+        assert kernels.modp_multi_scalar_accumulate(p, [5], [3]) == 125
+
+    def test_declines_wide_or_even_modulus(self):
+        kernels.set_active_kernel("native")
+        assert kernels.modp_scalar_mult_batch(2**300 + 1, [2], 2) is None
+        assert kernels.modp_scalar_mult_batch(2**64, [2], 2) is None
+
+    def test_declines_out_of_range_element(self):
+        # An element at/above the modulus never reaches the Montgomery
+        # domain: the kernel rejects it and the wrapper falls back.
+        kernels.set_active_kernel("native")
+        p = 2**61 - 1
+        assert kernels.modp_scalar_mult_batch(p, [p], 3) is None
+        assert kernels.modp_scalar_mult_batch(p, [-1], 3) is None
+
+
+# -- tier selection machinery ------------------------------------------------
+
+
+class TestTierSelection:
+    def test_best_available_resolution(self):
+        resolved = kernels.active_kernel()
+        if NATIVE:
+            assert resolved is CryptoKernelKind.NATIVE
+        else:
+            assert resolved in (CryptoKernelKind.NUMPY, CryptoKernelKind.PYTHON)
+
+    def test_set_active_kernel_round_trip(self):
+        assert kernels.set_active_kernel("python") is CryptoKernelKind.PYTHON
+        assert kernels.active_kernel() is CryptoKernelKind.PYTHON
+        assert not kernels.native_enabled()
+        assert not kernels.numpy_enabled()
+
+    def test_none_restores_lazy_resolution(self):
+        kernels.set_active_kernel("python")
+        assert kernels.set_active_kernel(None) is kernels.active_kernel()
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("XRD_CRYPTO_KERNEL", "python")
+        kernels.reset_kernel_for_tests()
+        assert kernels.active_kernel() is CryptoKernelKind.PYTHON
+
+    def test_env_invalid_value_raises(self, monkeypatch):
+        monkeypatch.setenv("XRD_CRYPTO_KERNEL", "turbo")
+        kernels.reset_kernel_for_tests()
+        with pytest.raises(ConfigurationError):
+            kernels.active_kernel()
+
+    def test_registry_factories_select_tier(self):
+        assert CRYPTO_KERNELS.create(CryptoKernelKind.PYTHON) is CryptoKernelKind.PYTHON
+        assert kernels.active_kernel() is CryptoKernelKind.PYTHON
+
+    def test_wrappers_return_none_on_python_tier(self):
+        kernels.set_active_kernel("python")
+        assert kernels.chacha20_blocks([b"\x00" * 32], [b"\x00" * 12], [0]) is None
+        assert kernels.aead_seal_batch([b"\x00" * 32], [b"\x00" * 12], [b""], b"") is None
+        assert kernels.aead_open_batch([b"\x00" * 32], [b"\x00" * 12], [b""], b"") is None
+        assert kernels.modp_scalar_mult_batch(2**61 - 1, [2], 2) is None
+
+    @needs_native
+    def test_numpy_tier_does_not_call_native(self):
+        kernels.set_active_kernel("numpy")
+        assert kernels.chacha20_blocks([b"\x00" * 32], [b"\x00" * 12], [0]) is None
+
+    def test_downgrade_warns_once_when_unavailable(self, monkeypatch):
+        from repro import native
+
+        monkeypatch.setenv("XRD_NATIVE_DISABLE", "1")
+        native.reset_probe_for_tests()
+        try:
+            assert not kernels.native_available()
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                resolved = kernels.set_active_kernel("native")
+            assert resolved is not CryptoKernelKind.NATIVE
+            # The warning fires once per process, not once per call.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                kernels.reset_kernel_for_tests()
+                kernels._warned_downgrade = True
+                kernels.set_active_kernel("native")
+        finally:
+            monkeypatch.delenv("XRD_NATIVE_DISABLE")
+            native.reset_probe_for_tests()
+
+    def test_loader_negative_probe_is_cached(self, monkeypatch):
+        from repro import native
+
+        monkeypatch.setenv("XRD_NATIVE_DISABLE", "1")
+        native.reset_probe_for_tests()
+        try:
+            assert native.load() is None
+            assert native.load_error() is not None
+            monkeypatch.delenv("XRD_NATIVE_DISABLE")
+            # Still None without a re-probe: the result is cached.
+            assert native.load() is None
+        finally:
+            native.reset_probe_for_tests()
+
+    @needs_native
+    def test_loader_reports_abi(self):
+        from repro import native
+
+        ffi, lib = native.load()
+        assert lib.xrd_abi_version() == native.EXPECTED_ABI
+
+
+class TestDeploymentKnob:
+    def test_config_accepts_kind(self):
+        from repro.coordinator.network import DeploymentConfig
+
+        config = DeploymentConfig(crypto_kernel=CryptoKernelKind.PYTHON)
+        config.validate()
+        assert config.crypto_kernel is CryptoKernelKind.PYTHON
+
+    def test_config_coerces_plain_string_with_deprecation(self):
+        from repro.coordinator.network import DeploymentConfig
+
+        with pytest.warns(DeprecationWarning):
+            config = DeploymentConfig(crypto_kernel="python")
+        assert config.crypto_kernel is CryptoKernelKind.PYTHON
+
+    def test_config_rejects_unknown_kernel(self):
+        from repro.coordinator.network import DeploymentConfig
+
+        config = DeploymentConfig(crypto_kernel="quantum")
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_create_selects_tier(self):
+        from repro.coordinator.network import Deployment, DeploymentConfig
+
+        config = DeploymentConfig(
+            num_servers=2, num_users=2, seed=1, group_kind="modp",
+            crypto_kernel=CryptoKernelKind.PYTHON,
+        )
+        deployment = Deployment.create(config)
+        try:
+            assert kernels.active_kernel() is CryptoKernelKind.PYTHON
+        finally:
+            deployment.close()
+
+
+# -- error-message satellites ------------------------------------------------
+
+
+class TestLengthMismatchMessages:
+    def test_chacha_batch_reports_all_three_lengths(self):
+        with pytest.raises(CryptoError, match=r"2 keys, 1 nonces, 3 counters"):
+            chacha20.chacha20_blocks_batch(
+                [b"\x00" * 32] * 2, [b"\x00" * 12], [0, 1, 2]
+            )
+
+    def test_aenc_batch_reports_lengths(self):
+        with pytest.raises(CryptoError, match=r"3 keys, 2 plaintexts"):
+            aead.aenc_batch([b"\x00" * 32] * 3, 1, [b"a", b"b"])
+
+    def test_adec_batch_reports_lengths(self):
+        with pytest.raises(CryptoError, match=r"1 keys, 2 ciphertexts"):
+            aead.adec_batch([b"\x00" * 32], 1, [b"a" * 16, b"b" * 16])
+
+
+# -- window-table cache satellite --------------------------------------------
+
+
+class TestWindowTableCache:
+    @pytest.fixture(autouse=True)
+    def _clean_caches(self):
+        reset_window_table_caches()
+        yield
+        reset_window_table_caches()
+
+    def test_decoded_copies_share_one_table(self):
+        group = Ed25519Group()
+        encoded = group.encode(group.base_mult(7))
+        first = group.decode(encoded)
+        second = group.decode(encoded)
+        assert first is not second
+        group_mod._window_table(first)   # probation
+        table = group_mod._window_table(first)  # promoted
+        assert group_mod._window_table(second) is table
+
+    def test_unencoded_point_promoted_on_second_sighting(self):
+        group = Ed25519Group()
+        point = group.base_mult(11)  # never encoded: no _enc memo yet
+        assert "_enc" not in point.__dict__
+        group_mod._window_table(point)
+        group_mod._window_table(point)
+        # Promotion computed the encoding and parked the table durably.
+        assert point.__dict__["_enc"] in group_mod._WINDOW_TABLE_BY_ENCODING
+
+    def test_reset_clears_everything_but_base(self):
+        group = Ed25519Group()
+        point = group.decode(group.encode(group.base_mult(13)))
+        group_mod._window_table(point)
+        group_mod._window_table(point)
+        assert group_mod._WINDOW_TABLE_BY_ENCODING
+        base_table = group_mod._window_table(group.base())
+        reset_window_table_caches()
+        assert not group_mod._WINDOW_TABLE_BY_ENCODING
+        assert not group_mod._ENCODING_SEEN_ONCE
+        assert not group_mod._WINDOW_TABLE_CACHE
+        assert not group_mod._WINDOW_SEEN_ONCE
+        assert group_mod._window_table(group.base()) is base_table
+
+    def test_cache_is_bounded(self):
+        group = Ed25519Group()
+        for scalar in range(2, 2 + group_mod._WINDOW_TABLE_CACHE_LIMIT + 8):
+            point = group.decode(group.encode(group.base_mult(scalar)))
+            group_mod._window_table(point)
+            group_mod._window_table(point)
+        assert (
+            len(group_mod._WINDOW_TABLE_BY_ENCODING)
+            <= group_mod._WINDOW_TABLE_CACHE_LIMIT
+        )
