@@ -10,7 +10,8 @@ is the :meth:`Conversation.establish` call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
 from repro.crypto.kdf import conversation_key
 
 __all__ = ["Conversation"]
@@ -23,7 +24,7 @@ class Conversation:
     partner_name: str
     partner_public_bytes: bytes
     partner_public_point: object
-    shared_secret_bytes: bytes
+    shared_secret_bytes: bytes = field(repr=False)
     my_public_bytes: bytes
     established_round: int = 0
     active: bool = True

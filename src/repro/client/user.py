@@ -249,7 +249,7 @@ class User:
         received: List[ReceivedMessage] = []
         loopback_keys = {
             chain_id: loopback_key(self.keypair.identity_secret_bytes(), chain_id)
-            for chain_id in set(self.assigned_chains(num_chains))
+            for chain_id in sorted(set(self.assigned_chains(num_chains)))
         }
         for message in messages:
             if message.recipient != self.public_bytes:

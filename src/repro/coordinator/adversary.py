@@ -17,7 +17,7 @@ benchmarks can exercise them:
 
 from __future__ import annotations
 
-import os
+import hashlib
 import random
 from typing import Iterable, List, Optional, Sequence
 
@@ -62,6 +62,30 @@ _MODES = (
 )
 
 
+def _derived_seed(*context: object) -> int:
+    """A deterministic 256-bit seed bound to the adversarial call context.
+
+    Adversarial randomness must be exactly as reproducible as honest
+    randomness: the parity matrix and the fault runner's scenario reports
+    compare round outputs byte for byte, so an adversary that reached for
+    OS entropy when no RNG was supplied would make the *same seeded
+    deployment* produce different bytes on every run.  When a caller does
+    not provide a seeded RNG we therefore derive one from the call context
+    instead of falling back to ``os.urandom``/``secrets``.
+    """
+    hasher = hashlib.sha256()
+    for part in context:
+        data = part if isinstance(part, bytes) else str(part).encode()
+        hasher.update(len(data).to_bytes(8, "big"))
+        hasher.update(data)
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def _derived_rng(*context: object) -> random.Random:
+    """A deterministic ``random.Random`` seeded from :func:`_derived_seed`."""
+    return random.Random(_derived_seed(*context))
+
+
 class TamperingMember:
     """A malicious chain member: honest key material, corrupted mixing step.
 
@@ -70,14 +94,17 @@ class TamperingMember:
     reveals are all "real" — exactly the situation the AHS verification has
     to catch.
 
-    When ``rng`` is given, the wrapper's own randomness (the delta scalars of
-    the aggregate-breaking modes) is drawn from a per-(wrapper, round) stream
-    derived from it — mirroring :class:`ChainMember`'s per-round streams, so
-    adversarial rounds are exactly as reproducible as honest ones and
-    bit-identical under every execution backend and scheduler.  ``rounds``
-    restricts the corruption to the named round numbers (the wrapper behaves
-    honestly elsewhere), which is how fault plans schedule "tamper at round
-    r" without installing and removing wrappers mid-scenario.
+    The wrapper's own randomness (the delta scalars of the aggregate-breaking
+    modes) is drawn from a per-(wrapper, round) stream — mirroring
+    :class:`ChainMember`'s per-round streams, so adversarial rounds are
+    exactly as reproducible as honest ones and bit-identical under every
+    execution backend and scheduler.  The stream is derived from ``rng`` when
+    one is supplied; otherwise it is derived deterministically from the
+    wrapped member's identity and the tampering parameters (never from OS
+    entropy — see :func:`_derived_seed`).  ``rounds`` restricts the
+    corruption to the named round numbers (the wrapper behaves honestly
+    elsewhere), which is how fault plans schedule "tamper at round r"
+    without installing and removing wrappers mid-scenario.
     """
 
     def __init__(
@@ -94,16 +121,23 @@ class TamperingMember:
         self.mode = mode
         self.target_index = target_index
         self.rounds = frozenset(rounds) if rounds is not None else None
-        self._seed_base = rng.getrandbits(256) if rng is not None else None
+        if rng is not None:
+            self._seed_base = rng.getrandbits(256)
+        else:
+            self._seed_base = _derived_seed(
+                "tampering-member",
+                getattr(member, "server_name", "?"),
+                getattr(member, "position", -1),
+                mode,
+                target_index,
+            )
         self._round_rngs: dict = {}
 
     def __getattr__(self, name: str):
         return getattr(self._member, name)
 
-    def _round_rng(self, round_number: int) -> Optional[random.Random]:
+    def _round_rng(self, round_number: int) -> random.Random:
         """The wrapper's independent randomness stream for one round."""
-        if self._seed_base is None:
-            return None
         if round_number not in self._round_rngs:
             self._round_rngs[round_number] = random.Random(
                 (self._seed_base << 64) | round_number
@@ -180,6 +214,10 @@ def forge_misauthenticated_submission(
     user *does* know her ephemeral secret), which is exactly why the blame
     walk-back is needed to convict her.  ``fail_at_position`` defaults to the
     last server — the paper's worst case (§8.2, "impact of blame protocol").
+
+    ``rng`` may be omitted, in which case the forgery's randomness is derived
+    deterministically from ``(chain, round, sender, fail position)`` so
+    adversarial rounds stay reproducible (see :func:`_derived_seed`).
     """
     from repro.crypto.onion import encrypt_outer_layers
 
@@ -189,8 +227,16 @@ def forge_misauthenticated_submission(
         fail_at_position = chain_length - 1
     if not 0 <= fail_at_position < chain_length:
         raise ConfigurationError("fail_at_position out of range")
+    if rng is None:
+        rng = _derived_rng(
+            "forge-misauthenticated",
+            chain_keys.chain_id,
+            round_number,
+            sender_name,
+            fail_at_position,
+        )
     ephemeral_secret = group.random_scalar(rng)
-    garbage = rng.randbytes(64) if rng is not None else os.urandom(64)
+    garbage = rng.randbytes(64)
     ciphertext = encrypt_outer_layers(
         group, mixing_publics[:fail_at_position], round_number, garbage, ephemeral_secret
     )
@@ -220,8 +266,14 @@ def forge_invalid_proof_submission(
     """A submission whose knowledge-of-discrete-log proof is for the wrong key.
 
     Such submissions are rejected immediately at intake (§6.4: misbehaviour
-    detected without running the blame protocol).
+    detected without running the blame protocol).  As with
+    :func:`forge_misauthenticated_submission`, an omitted ``rng`` is derived
+    deterministically from the call context.
     """
+    if rng is None:
+        rng = _derived_rng(
+            "forge-invalid-proof", chain_keys.chain_id, round_number, sender_name
+        )
     ephemeral_secret = group.random_scalar(rng)
     wrong_secret = group.random_scalar(rng)
     proof = prove_dlog(
@@ -235,6 +287,6 @@ def forge_invalid_proof_submission(
         chain_id=chain_keys.chain_id,
         sender=sender_name,
         dh_public=group.encode(group.base_mult(ephemeral_secret)),
-        ciphertext=rng.randbytes(128) if rng is not None else os.urandom(128),
+        ciphertext=rng.randbytes(128),
         proof=proof,
     )

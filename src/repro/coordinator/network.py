@@ -257,6 +257,7 @@ class MixServerNode:
 
     def join_chain(self, chain_id: int, position: int) -> ChainMember:
         """Create this server's member state for one chain."""
+        # xrdlint: disable=XRD101 - CSPRNG is the production default; seeded runs pass rng
         member_rng = self._rng if self._rng is not None else random.SystemRandom()
         member = ChainMember(
             server_name=self.name,
@@ -672,7 +673,7 @@ class Deployment:
             self._nodes_by_name[name].join_chain(chain_id, position)
             for position, name in enumerate(topology.servers)
         ]
-        for name in old_names - set(topology.servers):
+        for name in sorted(old_names - set(topology.servers)):
             self._nodes_by_name[name].chain_members.pop(chain_id, None)
         chain = MixChain(
             chain_id=chain_id,

@@ -23,9 +23,9 @@ __all__ = ["KeyPair", "KeyDirectory"]
 class KeyPair:
     """A Diffie-Hellman key pair ``(pk = sk·B, sk)`` over the protocol group."""
 
-    secret: int
-    public: object
-    public_bytes: bytes
+    secret: int = field(repr=False)
+    public: object = field(repr=False)
+    public_bytes: bytes = field(repr=False)
 
     @classmethod
     def generate(cls, group=None, rng: Optional[object] = None) -> "KeyPair":

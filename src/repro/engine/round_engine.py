@@ -361,7 +361,7 @@ class RoundEngine:
                     ctx.round_number, chain.decode_submission_publics(submissions)
                 )
 
-        started = time.perf_counter()
+        started = time.perf_counter()  # xrdlint: disable=XRD102 - stage timing, not canonical
         if use_backend and self.backend.shares_state:
             self.backend.map_chains(run_chain, deployment.chains)
         else:
@@ -369,7 +369,9 @@ class RoundEngine:
                 run_chain(chain)
         timings = ctx.report.stage_seconds
         timings["precompute"] = (
-            timings.get("precompute", 0.0) + time.perf_counter() - started
+            timings.get("precompute", 0.0)
+            # xrdlint: disable=XRD102 - stage timing, excluded from canonical bytes
+            + time.perf_counter() - started
         )
 
     def precompute(self, ctx: RoundContext) -> None:
@@ -429,7 +431,7 @@ class RoundEngine:
             )
             return ChainOutcome(chain_id=chain.chain_id, accept_rejected=rejected, result=result)
 
-        started = time.perf_counter()
+        started = time.perf_counter()  # xrdlint: disable=XRD102 - stage timing, not canonical
         if self.deployment.remote_mix is not None:
             outcomes = self.deployment.remote_mix.mix_round(ctx)
         else:
@@ -450,6 +452,8 @@ class RoundEngine:
                 pre_rejected[chain.chain_id] = rejected
                 ctx.per_chain[chain.chain_id] = []
             outcomes = self.backend.map_chains(run_chain, self.deployment.chains)
+        # stage_seconds is excluded from canonical_bytes: diagnostics only.
+        # xrdlint: disable=XRD102
         ctx.report.stage_seconds["mix"] = time.perf_counter() - started
         ctx.chain_outcomes = {outcome.chain_id: outcome for outcome in outcomes}
 

@@ -114,7 +114,7 @@ class RoundReport:
         """
         hasher = hashlib.sha256()
 
-        def feed(*parts) -> None:
+        def feed(*parts: object) -> None:
             for part in parts:
                 data = part if isinstance(part, bytes) else str(part).encode()
                 hasher.update(len(data).to_bytes(8, "big"))

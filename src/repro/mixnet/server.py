@@ -27,6 +27,7 @@ class BaselineMixServer:
     def __init__(self, server_name: str, group, rng: Optional[random.Random] = None) -> None:
         self.server_name = server_name
         self.group = group
+        # xrdlint: disable=XRD101 - CSPRNG is the production default; seeded runs pass rng
         self._rng = rng or random.SystemRandom()
         self.mixing_secret = group.random_scalar(self._rng)
         self.mixing_public = group.base_mult(self.mixing_secret)

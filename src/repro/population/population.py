@@ -67,10 +67,10 @@ class UserPopulation:
         #: Lazily derived per-(user, chain) loopback keys — identity secrets
         #: never change, so these are computed once per population.
         self._loopback_keys: Dict[Tuple[str, int], bytes] = {}
-        #: Per-user loopback trial order for the fetch cascade: the same
-        #: ``set(assigned_chains)`` iteration order the object path uses.
+        #: Per-user loopback trial order for the fetch cascade: sorted, so
+        #: it cannot depend on set hash order (the object path sorts too).
         self._trial_chains: Dict[str, Tuple[int, ...]] = {
-            name: tuple(set(assignment))
+            name: tuple(sorted(set(assignment)))
             for name, assignment in self.chain_assignments.items()
         }
         #: Optional observer for the streaming pipeline (DESIGN.md §9):
@@ -264,7 +264,7 @@ class UserPopulation:
             results[user.name] = slots
             trial_chains = self._trial_chains.get(user.name)
             if trial_chains is None:
-                trial_chains = tuple(set(chains_for_user(user.public_bytes, num_chains)))
+                trial_chains = tuple(sorted(set(chains_for_user(user.public_bytes, num_chains))))
             conversation_key = (
                 user.conversation.key_to_me() if user.conversation is not None else None
             )

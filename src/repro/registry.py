@@ -96,7 +96,7 @@ ComponentKey = Union[str, Enum]
 class ComponentRegistry:
     """Factories for one pluggable seam, keyed by enum member or string."""
 
-    def __init__(self, domain: str, kind_enum) -> None:
+    def __init__(self, domain: str, kind_enum: type) -> None:
         self.domain = domain
         self.kind_enum = kind_enum
         self._factories: Dict[str, Callable] = {}
@@ -169,7 +169,7 @@ class ComponentRegistry:
             f"{self.domain} name (one of {self.keys()}), got {value!r}"
         )
 
-    def create(self, key: ComponentKey, **kwargs):
+    def create(self, key: ComponentKey, **kwargs: object) -> object:
         """Instantiate the component registered under ``key``."""
         name = self._name_of(key)
         factory = self._factories.get(name)

@@ -116,7 +116,7 @@ def run_localhost(
     as a dict.  ``keep_report`` additionally copies the summary JSON to the
     given path (the CI smoke job uploads it as an artifact).
     """
-    deadline = time.monotonic() + timeout
+    deadline = time.monotonic() + timeout  # xrdlint: disable=XRD102 - subprocess deadline
     workdir = tempfile.mkdtemp(prefix="xrd-runner-")
     children = []
     # The children must import the same ``repro`` this process runs (the
@@ -189,9 +189,10 @@ def run_localhost(
         )
         children.append(("coordinator", coordinator))
         try:
+            # xrdlint: disable=XRD102 - subprocess deadline, not protocol state
             coordinator.wait(timeout=max(deadline - time.monotonic(), 1.0))
-        except subprocess.TimeoutExpired:
-            raise fail("coordinator", coordinator, f"timed out after {timeout}s")
+        except subprocess.TimeoutExpired as exc:
+            raise fail("coordinator", coordinator, f"timed out after {timeout}s") from exc
         if coordinator.returncode != 0:
             raise fail(
                 "coordinator", coordinator,
@@ -203,9 +204,10 @@ def run_localhost(
         # should be draining out on their own.
         for name, proc in children[:-1]:
             try:
+                # xrdlint: disable=XRD102 - subprocess deadline, not protocol state
                 proc.wait(timeout=max(deadline - time.monotonic(), 1.0))
-            except subprocess.TimeoutExpired:
-                raise fail(name, proc, "did not exit after SHUTDOWN")
+            except subprocess.TimeoutExpired as exc:
+                raise fail(name, proc, "did not exit after SHUTDOWN") from exc
         if keep_report is not None:
             shutil.copyfile(report_path, keep_report)
         return summary

@@ -24,7 +24,7 @@ import dataclasses
 import enum
 import hashlib
 import json
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.coordinator.network import DeploymentConfig
 from repro.errors import DecodingError
@@ -82,11 +82,11 @@ def split_control(body: bytes) -> Tuple[int, bytes]:
     return body[0], body[1:]
 
 
-def encode_json_control(op: int, obj) -> bytes:
+def encode_json_control(op: int, obj: object) -> bytes:
     return encode_control(op, json.dumps(obj, sort_keys=True).encode())
 
 
-def decode_json_payload(payload: bytes):
+def decode_json_payload(payload: bytes) -> Any:
     try:
         return json.loads(payload.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -232,7 +232,7 @@ def plan_from_dict(data: Dict) -> FaultPlan:
 # -- report serialisation --------------------------------------------------------
 
 
-def scenario_summary(report) -> Dict:
+def scenario_summary(report: Any) -> Dict:
     """A JSON-able summary of a :class:`~repro.faults.runner.ScenarioReport`.
 
     Carries the parity instruments — the per-round

@@ -91,7 +91,7 @@ def simulate_failure_rate(
             for topology in topologies
             if any(server in failed_servers for server in topology.servers)
         }
-        for pair_index in range(conversations_per_trial):
+        for _pair_index in range(conversations_per_trial):
             key_a = _synthetic_public_key(rng.randrange(1 << 30))
             key_b = _synthetic_public_key(rng.randrange(1 << 30))
             chain_id = intersection_chain(key_a, key_b, num_chains)

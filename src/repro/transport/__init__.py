@@ -28,6 +28,8 @@ wrapper over it, and external transports register there without touching
 this package.
 """
 
+from typing import Any
+
 from repro.registry import TRANSPORTS, TransportKind
 from repro.transport.base import Transport
 from repro.transport.envelope import (
@@ -69,11 +71,11 @@ __all__ = [
 ]
 
 
-def _make_inproc(group=None, cost_model=None) -> Transport:
+def _make_inproc(group: Any = None, cost_model: Any = None) -> Transport:
     return InProcTransport()
 
 
-def _make_instrumented(group=None, cost_model=None) -> Transport:
+def _make_instrumented(group: Any = None, cost_model: Any = None) -> Transport:
     from repro.errors import ConfigurationError
 
     if group is None:
@@ -81,7 +83,7 @@ def _make_instrumented(group=None, cost_model=None) -> Transport:
     return InstrumentedTransport(group, cost_model=cost_model)
 
 
-def _make_tcp(group=None, cost_model=None) -> Transport:
+def _make_tcp(group: Any = None, cost_model: Any = None) -> Transport:
     """The standalone knob: a loopback reflector in this process."""
     from repro.errors import ConfigurationError
     from repro.transport.tcp import TcpTransport
@@ -97,7 +99,7 @@ if not TRANSPORTS.is_known(TransportKind.INPROC):  # tolerate module re-import
     TRANSPORTS.register(TransportKind.TCP, _make_tcp)
 
 
-def make_transport(kind, group=None, cost_model=None) -> Transport:
+def make_transport(kind: Any, group: Any = None, cost_model: Any = None) -> Transport:
     """Build a transport from a :class:`~repro.registry.TransportKind` (or a
     registered name) via the component registry."""
     return TRANSPORTS.create(kind, group=group, cost_model=cost_model)

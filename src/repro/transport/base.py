@@ -77,5 +77,5 @@ class Transport(abc.ABC):
     def __enter__(self) -> "Transport":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -21,7 +21,7 @@ servers in a networked deployment.  The reveals and NIZKs the protocol
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from repro.errors import DecodingError
 from repro.mixnet.messages import (
@@ -70,7 +70,7 @@ def _read_bytes(data: bytes, offset: int) -> tuple:
     return data[offset:offset + length], offset + length
 
 
-def _pack_str(text) -> bytes:
+def _pack_str(text: Optional[str]) -> bytes:
     # A leading presence byte distinguishes None from the empty string.
     if text is None:
         return b"\x00"
@@ -152,7 +152,7 @@ def _encode_submission_batch(submissions: Sequence[ClientSubmission]) -> bytes:
     return b"".join(parts)
 
 
-def _decode_submission_batch(group, data: bytes) -> List[ClientSubmission]:
+def _decode_submission_batch(group: Any, data: bytes) -> List[ClientSubmission]:
     count, offset = _read_int(data, 0, 4)
     submissions: List[ClientSubmission] = []
     for _ in range(count):
@@ -173,7 +173,7 @@ encode_submission_batch = _encode_submission_batch
 decode_submission_batch = _decode_submission_batch
 
 
-def _encode_fetch_batch(pairs) -> bytes:
+def _encode_fetch_batch(pairs: Sequence[tuple]) -> bytes:
     """``count || per user: length-prefixed owner key + mailbox batch``."""
     parts = [len(pairs).to_bytes(4, "big")]
     for owner, messages in pairs:
@@ -194,7 +194,7 @@ def _decode_fetch_batch(data: bytes) -> List[tuple]:
     return pairs
 
 
-def encode_payload(group, envelope: Envelope) -> bytes:
+def encode_payload(group: Any, envelope: Envelope) -> bytes:
     """Serialise an envelope's payload to its real wire encoding."""
     kind = envelope.kind
     if kind in (ev.SUBMISSION, ev.COVER_SUBMISSION):
@@ -217,7 +217,7 @@ def encode_payload(group, envelope: Envelope) -> bytes:
     raise UnsupportedPayload(f"no wire encoding for envelope kind {kind!r}")
 
 
-def decode_payload(group, kind: str, data: bytes) -> object:
+def decode_payload(group: Any, kind: str, data: bytes) -> object:
     """Parse wire bytes back into the payload the destination consumes."""
     if kind in (ev.SUBMISSION, ev.COVER_SUBMISSION):
         return ClientSubmission.from_bytes(data, element_size=group.element_size)

@@ -34,7 +34,7 @@ envelopes without pulling in the codec (and its imports) transitively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -107,7 +107,7 @@ class Envelope:
 
 
 def submission_envelope(
-    submission, entry_servers: Dict[int, str], upload_round: int
+    submission: Any, entry_servers: Dict[int, str], upload_round: int
 ) -> Envelope:
     """Address one client submission to its chain's entry server.
 
@@ -134,7 +134,7 @@ def submission_envelope(
 
 def submission_batch_envelope(
     chain_id: int,
-    submissions,
+    submissions: Sequence[Any],
     entry_servers: Dict[int, str],
     upload_round: int,
     cover: bool = False,

@@ -159,7 +159,7 @@ class FaultyTransport(Transport):
         self.fork_safe = inner.fork_safe
 
     @property
-    def ledger(self):
+    def ledger(self) -> Optional[object]:
         """The inner transport's traffic ledger, when it keeps one."""
         return getattr(self.inner, "ledger", None)
 

@@ -36,7 +36,7 @@ trailing bytes, or field corruption — the hypothesis fuzz suite in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Optional, Tuple
 
 from repro.errors import DecodingError
 from repro.transport.codec import (
@@ -175,7 +175,7 @@ def decode_hello(data: bytes) -> Hello:
 
 # -- envelope frames ----------------------------------------------------------
 
-def _pack_optional_int(value, width: int) -> bytes:
+def _pack_optional_int(value: Optional[int], width: int) -> bytes:
     if value is None:
         return b"\x00"
     return b"\x01" + int(value).to_bytes(width, "big")
@@ -188,7 +188,7 @@ def _read_optional_int(data: bytes, offset: int, width: int) -> tuple:
     return _read_int(data, offset, width)
 
 
-def encode_envelope_frame(group, envelope: Envelope) -> bytes:
+def encode_envelope_frame(group: Any, envelope: Envelope) -> bytes:
     """Serialise a whole envelope: routing header + wire-encoded payload."""
     return b"".join(
         (
@@ -203,7 +203,7 @@ def encode_envelope_frame(group, envelope: Envelope) -> bytes:
     )
 
 
-def decode_envelope_frame(group, data: bytes) -> Envelope:
+def decode_envelope_frame(group: Any, data: bytes) -> Envelope:
     """Inverse of :func:`encode_envelope_frame` (payload fully decoded)."""
     kind, offset = _read_str(data, 0)
     if kind not in ENVELOPE_KINDS:

@@ -19,7 +19,7 @@ and modelled figures are directly comparable.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.transport.base import Transport
 from repro.transport.codec import decode_payload, encode_payload
@@ -34,7 +34,7 @@ class InstrumentedTransport(Transport):
 
     name = "instrumented"
 
-    def __init__(self, group, cost_model=None, ledger: Optional[TrafficLedger] = None) -> None:
+    def __init__(self, group: Any, cost_model: Any = None, ledger: Optional[TrafficLedger] = None) -> None:
         if cost_model is None:
             from repro.simulation.costmodel import CostModel
 

@@ -138,7 +138,7 @@ class TrafficLedger:
                 )
         return {
             user: (uploads.get(user, 0), downloads.get(user, 0))
-            for user in set(uploads) | set(downloads)
+            for user in sorted(set(uploads) | set(downloads))
         }
 
     # -- latency accounting ----------------------------------------------------
@@ -176,7 +176,7 @@ class TrafficLedger:
                 delivery[record.chain_id] = delivery.get(record.chain_id, 0.0) + record.seconds
         slowest_chain = max(
             (chain_path.get(cid, 0.0) + delivery.get(cid, 0.0)
-             for cid in set(chain_path) | set(delivery)),
+             for cid in sorted(set(chain_path) | set(delivery))),
             default=0.0,
         )
         return submission_max + slowest_chain + fetch_max

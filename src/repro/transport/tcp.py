@@ -49,7 +49,7 @@ import concurrent.futures
 import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Awaitable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DecodingError, TransportError
 from repro.transport import frames
@@ -87,7 +87,7 @@ class ReflectingHandler(RequestHandler):
     reference a proof of the whole frame grammar.
     """
 
-    def __init__(self, group) -> None:
+    def __init__(self, group: Any) -> None:
         self.group = group
 
     def handle_envelope(self, envelope: Envelope) -> bytes:
@@ -97,7 +97,7 @@ class ReflectingHandler(RequestHandler):
 class _Connection:
     """One established outbound connection (event-loop side only)."""
 
-    def __init__(self, reader, writer) -> None:
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self.reader = reader
         self.writer = writer
         self.write_lock = asyncio.Lock()
@@ -106,7 +106,7 @@ class _Connection:
         self.closed = False
 
 
-async def _read_frame(reader) -> Tuple[int, int, bytes]:
+async def _read_frame(reader: asyncio.StreamReader) -> Tuple[int, int, bytes]:
     prefix = await reader.readexactly(4)
     length = int.from_bytes(prefix, "big")
     payload = await reader.readexactly(length)
@@ -122,7 +122,7 @@ class TcpTransport(Transport):
 
     def __init__(
         self,
-        group,
+        group: Any,
         node_name: str = "node",
         handler: Optional[RequestHandler] = None,
         listen_host: str = "127.0.0.1",
@@ -132,7 +132,7 @@ class TcpTransport(Transport):
         config_digest: bytes = b"",
         request_timeout: float = 120.0,
         handler_threads: int = 8,
-        cost_model=None,
+        cost_model: Any = None,
     ) -> None:
         self.group = group
         self.node_name = node_name
@@ -165,7 +165,7 @@ class TcpTransport(Transport):
 
     # -- synchronous facade over the loop thread --------------------------------
 
-    def _call(self, coro, timeout: Optional[float] = None):
+    def _call(self, coro: Awaitable, timeout: Optional[float] = None) -> Any:
         future = asyncio.run_coroutine_threadsafe(coro, self._loop)
         try:
             return future.result(timeout)
@@ -231,7 +231,7 @@ class TcpTransport(Transport):
         if not items:
             return []
 
-        async def _gather():
+        async def _gather() -> List[bytes]:
             return await asyncio.gather(
                 *(self._request_async(peer, frame_type, body)
                   for peer, frame_type, body in items)
@@ -372,7 +372,9 @@ class TcpTransport(Transport):
             )
         return None
 
-    async def _serve_client(self, reader, writer) -> None:
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         write_lock = asyncio.Lock()
         self._accepted_writers.add(writer)
         try:
@@ -421,7 +423,12 @@ class TcpTransport(Transport):
             writer.close()
 
     async def _handle_request(
-        self, frame_type: int, request_id: int, body: bytes, writer, write_lock
+        self,
+        frame_type: int,
+        request_id: int,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
     ) -> None:
         try:
             if frame_type == frames.FRAME_ENVELOPE:

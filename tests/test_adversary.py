@@ -161,6 +161,60 @@ class TestAdversarialReproducibility:
         assert forge("proof").to_bytes() == forge("proof").to_bytes()
 
 
+class TestDerivedAdversarialDeterminism:
+    """``rng=None`` adversaries derive their stream from the call context.
+
+    Regression for the xrdlint determinism findings: the forge helpers used
+    to fall back to ``os.urandom`` (and ``group.random_scalar(None)`` to the
+    OS CSPRNG) when no RNG was supplied, so an adversarial round on a fully
+    seeded deployment still produced different bytes on every run — breaking
+    the "adversarial rounds are exactly as reproducible as honest ones"
+    contract the parity matrix and blame rely on.
+    """
+
+    @staticmethod
+    def _adversarial_round_bytes() -> bytes:
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=7
+        )
+        # No rng anywhere: every adversarial draw must be derived, not fresh.
+        install_tampering_server(
+            deployment, chain_id=0, position=1, mode=MODE_PRESERVE_AGGREGATE
+        )
+        views = deployment.chain_keys_view(1)
+        bad = [
+            forge_misauthenticated_submission(deployment.group, views[1], 1, "mallory"),
+            forge_invalid_proof_submission(deployment.group, views[2], 1, "eve"),
+        ]
+        return deployment.run_round(extra_submissions=bad).canonical_bytes()
+
+    def test_unseeded_adversarial_round_bit_identical_across_runs(self):
+        assert self._adversarial_round_bytes() == self._adversarial_round_bytes()
+
+    def test_forged_submissions_without_rng_are_deterministic(self):
+        deployment = make_deployment(
+            num_servers=4, num_users=4, num_chains=3, chain_length=3, seed=8
+        )
+        views = deployment.chain_keys_view(1)
+        def forge():
+            return forge_misauthenticated_submission(
+                deployment.group, views[0], 1, "mallory"
+            )
+
+        def proof():
+            return forge_invalid_proof_submission(deployment.group, views[0], 1, "eve")
+
+        assert forge().to_bytes() == forge().to_bytes()
+        assert proof().to_bytes() == proof().to_bytes()
+
+    def test_unseeded_tampering_wrapper_draws_are_deterministic(self):
+        deployment = make_deployment()
+        member = deployment.chain(0).members[0]
+        first = TamperingMember(member, MODE_BREAK_AGGREGATE)
+        second = TamperingMember(member, MODE_BREAK_AGGREGATE)
+        assert first._round_rng(3).random() == second._round_rng(3).random()
+
+
 class TestMaliciousUsers:
     def test_misauthenticated_submission_convicted_and_removed(self):
         deployment = make_deployment(

@@ -139,7 +139,7 @@ class TestStaggering:
         servers = [f"server-{index}" for index in range(5)]
         chains = form_chains(servers, 15, 3, stagger=True)
         histogram = position_histogram(chains)
-        for server, counts in histogram.items():
+        for _server, counts in histogram.items():
             appearances = sum(counts)
             if appearances >= 3:
                 assert max(counts) < appearances  # not always the same slot

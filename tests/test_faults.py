@@ -507,7 +507,7 @@ class TestScenarioReproducibility:
         assert first.canonical_bytes() == second.canonical_bytes()
 
     def test_canned_scenarios_all_execute(self):
-        for name, factory in CANNED_SCENARIOS.items():
+        for factory in CANNED_SCENARIOS.values():
             report = run_scenario(factory())
             assert report.plan_name == factory().name
             assert len(report.rounds) == factory().num_rounds

@@ -69,6 +69,25 @@ class TestFrameCodec:
         with pytest.raises(DecodingError, match="unknown frame type"):
             frames.decode_frame(bytes(wire))
 
+    def test_every_opcode_round_trips_at_its_pinned_wire_value(self):
+        # Renumbering an opcode is a silent wire break: peers on the old
+        # numbering parse the frame as a different type.  Pin each value
+        # and round-trip each opcode explicitly.
+        pinned = {
+            frames.FRAME_HELLO: 1,
+            frames.FRAME_HELLO_ACK: 2,
+            frames.FRAME_ENVELOPE: 3,
+            frames.FRAME_REPLY: 4,
+            frames.FRAME_CONTROL: 5,
+            frames.FRAME_ERROR: 6,
+        }
+        assert set(frames.FRAME_TYPES) == set(pinned)
+        for opcode, value in pinned.items():
+            assert opcode == value
+            wire = frames.encode_frame(opcode, 42, b"payload")
+            assert wire[4] == value  # opcode byte sits just past the length prefix
+            assert frames.decode_frame(wire) == (opcode, 42, b"payload")
+
 
 class TestHelloCodec:
     @settings(max_examples=50, deadline=None)

@@ -103,7 +103,7 @@ class TestTransportContract:
     def test_context_manager_closes(self, group, request):
         # A fresh instance per factory: the fixture instance must stay open
         # for the other tests' sake.
-        for name, factory in FACTORIES.items():
+        for factory in FACTORIES.values():
             with factory(group) as instance:
                 assert isinstance(instance, Transport)
             instance.close()  # idempotent even after __exit__

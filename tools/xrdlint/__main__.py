@@ -1,0 +1,7 @@
+"""``python -m tools.xrdlint`` entry point."""
+
+import sys
+
+from tools.xrdlint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,80 @@
+"""Fingerprinted finding baselines.
+
+A baseline is a committed JSON file mapping finding fingerprints (see
+:meth:`tools.xrdlint.core.Finding.fingerprint`) to accepted occurrence
+counts.  Because fingerprints hash the rule, file, enclosing symbol and
+normalised source line — not the line number — a baseline survives
+unrelated edits but is invalidated the moment someone touches a flagged
+line, forcing a fresh decision (fix it, or justify a pragma).
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"fingerprint": "ab12...", "count": 1,
+         "rule": "XRD102", "path": "src/...", "symbol": "...",
+         "snippet": "..."},
+        ...
+      ]
+    }
+
+Only ``fingerprint`` and ``count`` are consumed when matching; the rest is
+human context so a reviewer can audit the baseline without re-running the
+tool.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from tools.xrdlint.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint → accepted count.  Missing/empty file means no baseline."""
+    if not path.is_file():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"xrdlint: baseline {path} is unreadable: {exc}") from exc
+    accepted: Dict[str, int] = {}
+    for entry in payload.get("entries", []):
+        fingerprint = entry.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            continue
+        count = entry.get("count", 1)
+        accepted[fingerprint] = accepted.get(fingerprint, 0) + int(count)
+    return accepted
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Serialise ``findings`` as the new baseline; returns the entry count."""
+    counts: Counter = Counter()
+    context: Dict[str, Finding] = {}
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        counts[fingerprint] += 1
+        context.setdefault(fingerprint, finding)
+    entries: List[Dict[str, object]] = []
+    for fingerprint in sorted(counts):
+        exemplar = context[fingerprint]
+        entries.append(
+            {
+                "fingerprint": fingerprint,
+                "count": counts[fingerprint],
+                "rule": exemplar.rule,
+                "path": exemplar.path,
+                "symbol": exemplar.symbol,
+                "snippet": exemplar.snippet,
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,306 @@
+"""A small intraprocedural dataflow/taint engine.
+
+Two analyses share the same skeleton — a forward walk over a function body
+that propagates a property through assignments until a fixed point:
+
+* :class:`FunctionTaint` answers "does this expression carry a value
+  produced by one of the *taint sources*?"  The secret-hygiene rules use it
+  with the repo's key/scalar producers as sources and ``repr``/f-string/
+  logging sites as sinks.
+* :class:`SetTypes` answers "is this expression (typed as) an unordered
+  set?"  The determinism rules use it to find iteration whose order is not
+  defined.
+
+Both are deliberately approximate: names are tracked flow-insensitively
+(a name tainted anywhere in the function counts as tainted everywhere
+after the fixed point), attribute chains are tracked by their dotted text,
+and calls propagate taint from arguments unless the callee is a known
+sanitizer.  For a repo-specific linter, over-taint plus pragmas beats a
+missed leak.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from tools.xrdlint.core import resolve_call_name
+
+__all__ = ["TaintSpec", "FunctionTaint", "SetTypes", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class TaintSpec:
+    """What creates taint, what destroys it, and what names carry it."""
+
+    def __init__(
+        self,
+        producers: Iterable[str] = (),
+        name_patterns: Iterable[str] = (),
+        sanitizers: Iterable[str] = (),
+    ) -> None:
+        self.producers: FrozenSet[str] = frozenset(producers)
+        self.name_res: Tuple[re.Pattern, ...] = tuple(re.compile(p) for p in name_patterns)
+        self.sanitizers: FrozenSet[str] = frozenset(sanitizers)
+
+    def name_matches(self, name: str) -> bool:
+        last = name.rsplit(".", 1)[-1]
+        return any(pattern.search(last) for pattern in self.name_res)
+
+
+class FunctionTaint:
+    """Fixed-point taint propagation over one function body."""
+
+    _MAX_PASSES = 4
+
+    def __init__(self, func: ast.AST, spec: TaintSpec, imports: Dict[str, str]) -> None:
+        self.spec = spec
+        self.imports = imports
+        self.tainted: Set[str] = set()
+        body = getattr(func, "body", [])
+        # Parameters whose names look secret are sources too (callers hand
+        # layer keys and scalars down by name).
+        args = getattr(func, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                if spec.name_matches(arg.arg):
+                    self.tainted.add(arg.arg)
+        for _ in range(self._MAX_PASSES):
+            before = len(self.tainted)
+            for stmt in body:
+                self._visit_stmt(stmt)
+            if len(self.tainted) == before:
+                break
+
+    # -- statements -----------------------------------------------------------
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            if self.is_tainted(stmt.value):
+                for target in stmt.targets:
+                    self._taint_target(target)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if self.is_tainted(stmt.value):
+                self._taint_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            if self.is_tainted(stmt.value) or self.is_tainted(stmt.target):
+                self._taint_target(stmt.target)
+        elif isinstance(stmt, ast.For):
+            if self.is_tainted(stmt.iter):
+                self._taint_target(stmt.target)
+            for inner in stmt.body + stmt.orelse:
+                self._visit_stmt(inner)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            for inner in stmt.body + stmt.orelse:
+                self._visit_stmt(inner)
+        elif isinstance(stmt, ast.With):
+            for inner in stmt.body:
+                self._visit_stmt(inner)
+        elif isinstance(stmt, ast.Try):
+            for inner in stmt.body + stmt.orelse + stmt.finalbody:
+                self._visit_stmt(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self._visit_stmt(inner)
+        # Nested defs/classes are separate scopes: analysed on their own.
+
+    def _taint_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._taint_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._taint_target(target.value)
+            return
+        name = dotted_name(target)
+        if name is not None:
+            self.tainted.add(name)
+
+    # -- expressions ----------------------------------------------------------
+
+    def is_tainted(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = dotted_name(node)
+            if name is None:
+                return False
+            return name in self.tainted or self.spec.name_matches(name)
+        if isinstance(node, ast.Call):
+            called = resolve_call_name(node.func, self.imports)
+            last = called.rsplit(".", 1)[-1] if called else None
+            if last in self.spec.sanitizers:
+                return False
+            if last in self.spec.producers:
+                return True
+            return any(self.is_tainted(arg) for arg in node.args) or any(
+                self.is_tainted(kw.value) for kw in node.keywords
+            )
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_tainted(value) for value in node.values)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_tainted(node.operand)
+        if isinstance(node, ast.Compare):
+            return False  # a comparison result is a bool, not the secret
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(element) for element in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(self.is_tainted(v) for v in node.values if v is not None)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, ast.JoinedStr):
+            return any(self.is_tainted(value) for value in node.values)
+        if isinstance(node, ast.FormattedValue):
+            return self.is_tainted(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.is_tainted(node.elt) or any(
+                self.is_tainted(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.DictComp):
+            return (
+                self.is_tainted(node.key)
+                or self.is_tainted(node.value)
+                or any(self.is_tainted(gen.iter) for gen in node.generators)
+            )
+        if isinstance(node, ast.Await):
+            return self.is_tainted(node.value)
+        return False
+
+
+#: Functions through which a set stays a set.
+_SET_RETURNING_METHODS = frozenset(
+    {
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+        "copy",
+    }
+)
+
+#: Order-independent consumers: passing a set here is fine.
+SAFE_SET_CONSUMERS = frozenset(
+    {
+        "len",
+        "sum",
+        "min",
+        "max",
+        "any",
+        "all",
+        "sorted",
+        "set",
+        "frozenset",
+        "bool",
+    }
+)
+
+
+class SetTypes:
+    """Which local names are (approximately) sets, per function scope."""
+
+    _MAX_PASSES = 4
+
+    def __init__(
+        self,
+        scope: ast.AST,
+        set_attr_names: FrozenSet[str] = frozenset(),
+        imports: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.set_attr_names = set_attr_names
+        self.imports = imports or {}
+        self.set_names: Set[str] = set()
+        body = getattr(scope, "body", [])
+        args = getattr(scope, "args", None)
+        if args is not None:
+            for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                if arg.annotation is not None and self._annotation_is_set(arg.annotation):
+                    self.set_names.add(arg.arg)
+        for _ in range(self._MAX_PASSES):
+            before = len(self.set_names)
+            for stmt in body:
+                self._visit_stmt(stmt)
+            if len(self.set_names) == before:
+                break
+
+    @staticmethod
+    def _annotation_is_set(annotation: ast.AST) -> bool:
+        from tools.xrdlint.core import _annotation_is_set
+
+        return _annotation_is_set(annotation)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = dotted_name(stmt.targets[0])
+            if target is not None:
+                if self.is_set_expr(stmt.value):
+                    self.set_names.add(target)
+                else:
+                    # Reassignment to an ordered value cleanses the name
+                    # (``x = sorted(x)`` is the canonical fix).
+                    self.set_names.discard(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            target = dotted_name(stmt.target)
+            if target is not None and self._annotation_is_set(stmt.annotation):
+                self.set_names.add(target)
+        elif isinstance(stmt, ast.AugAssign):
+            pass  # ``s |= t`` keeps whatever classification ``s`` has
+        elif isinstance(stmt, (ast.If, ast.While, ast.For)):
+            for inner in stmt.body + stmt.orelse:
+                self._visit_stmt(inner)
+        elif isinstance(stmt, ast.With):
+            for inner in stmt.body:
+                self._visit_stmt(inner)
+        elif isinstance(stmt, ast.Try):
+            for inner in stmt.body + stmt.orelse + stmt.finalbody:
+                self._visit_stmt(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self._visit_stmt(inner)
+
+    def is_set_expr(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = dotted_name(node)
+            if name is not None and name in self.set_names:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in self.set_attr_names:
+                return True
+            return False
+        if isinstance(node, ast.Call):
+            called = resolve_call_name(node.func, self.imports)
+            last = called.rsplit(".", 1)[-1] if called else None
+            if last in ("set", "frozenset"):
+                return True
+            if last in _SET_RETURNING_METHODS and isinstance(node.func, ast.Attribute):
+                return self.is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left) and self.is_set_expr(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set_expr(node.body) or self.is_set_expr(node.orelse)
+        return False

@@ -1,0 +1,211 @@
+"""XRD4xx — codec exhaustiveness: every declared wire constant is wired up.
+
+Blame only convicts because replicas agree byte-for-byte on what was sent,
+and the parity matrix only proves the codecs lossless for the envelope
+kinds it actually round-trips.  A kind (or frame opcode) added to the
+transport constants without an encoder branch, a decoder branch, *and* a
+round-trip test is a silent hole: the in-proc transport hands the payload
+object through unchanged, so everything passes until the first wire
+transport meets the new kind in production.
+
+The rule cross-references three surfaces, all found by shape (no imports):
+
+* the constants module — ``ENVELOPE_KINDS = (A, B, ...)`` / ``FRAME_TYPES``;
+* the codec — the modules defining ``encode_payload``/``decode_payload``
+  (and, for frames, any *other* module that handles each opcode);
+* the tests directory — each kind/opcode must appear in a test file that
+  also exercises both directions (mentions encode and decode).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from tools.xrdlint.core import Finding, ModuleContext, Project, ProjectRule
+from tools.xrdlint.rules import register
+
+
+def _tuple_constant_names(module: ModuleContext, target_name: str) -> List[str]:
+    """The Name elements of ``TARGET = (A, B, ...)`` at module level."""
+    for stmt in module.tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == target_name):
+            continue
+        if isinstance(stmt.value, (ast.Tuple, ast.List)):
+            return [
+                element.id
+                for element in stmt.value.elts
+                if isinstance(element, ast.Name)
+            ]
+    return []
+
+
+def _module_constants(module: ModuleContext) -> Dict[str, Tuple[object, int]]:
+    """Module-level ``NAME = <literal>`` assignments → (value, lineno)."""
+    constants: Dict[str, Tuple[object, int]] = {}
+    for stmt in module.tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Constant):
+            constants[target.id] = (stmt.value.value, stmt.lineno)
+    return constants
+
+
+def _referenced_names(node: ast.AST) -> Set[str]:
+    """Every Name id and Attribute attr mentioned under ``node``."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+    return names
+
+
+def _find_function(module: ModuleContext, name: str) -> Optional[ast.AST]:
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == name:
+            return stmt
+    return None
+
+
+@register
+class CodecExhaustivenessRule(ProjectRule):
+    code = "XRD401"
+    name = "codec-kind-unhandled"
+    description = (
+        "Every envelope kind in ENVELOPE_KINDS needs a branch in both "
+        "encode_payload and decode_payload, and every frame opcode in "
+        "FRAME_TYPES must be handled outside its defining module — an "
+        "unhandled constant is a wire hole the in-proc transport hides."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_envelope_kinds(project))
+        findings.extend(self._check_frame_types(project))
+        return findings
+
+    # -- envelope kinds vs encode_payload/decode_payload ----------------------
+
+    def _check_envelope_kinds(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            kinds = _tuple_constant_names(module, "ENVELOPE_KINDS")
+            if not kinds:
+                continue
+            constants = _module_constants(module)
+            encoder, decoder = self._payload_codecs(project)
+            for kind in kinds:
+                _, lineno = constants.get(kind, (None, 1))
+                anchor = ast.Constant(value=None, lineno=lineno, col_offset=0)
+                if encoder is None or kind not in _referenced_names(encoder):
+                    findings.append(
+                        module.finding(
+                            self.code,
+                            anchor,
+                            f"envelope kind {kind} has no branch in "
+                            "encode_payload",
+                        )
+                    )
+                if decoder is None or kind not in _referenced_names(decoder):
+                    findings.append(
+                        module.finding(
+                            self.code,
+                            anchor,
+                            f"envelope kind {kind} has no branch in "
+                            "decode_payload",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _payload_codecs(project: Project) -> Tuple[Optional[ast.AST], Optional[ast.AST]]:
+        encoder = decoder = None
+        for module in project.modules:
+            encoder = encoder or _find_function(module, "encode_payload")
+            decoder = decoder or _find_function(module, "decode_payload")
+        return encoder, decoder
+
+    # -- frame opcodes handled outside the defining module --------------------
+
+    def _check_frame_types(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            frame_names = _tuple_constant_names(module, "FRAME_TYPES")
+            if not frame_names:
+                continue
+            constants = _module_constants(module)
+            external: Set[str] = set()
+            for other in project.modules:
+                if other is module:
+                    continue
+                external |= _referenced_names(other.tree)
+            for frame in frame_names:
+                _, lineno = constants.get(frame, (None, 1))
+                if frame not in external:
+                    anchor = ast.Constant(value=None, lineno=lineno, col_offset=0)
+                    findings.append(
+                        module.finding(
+                            self.code,
+                            anchor,
+                            f"frame opcode {frame} is declared but never "
+                            "handled outside its defining module",
+                        )
+                    )
+        return findings
+
+
+@register
+class CodecRoundTripTestRule(ProjectRule):
+    code = "XRD402"
+    name = "codec-kind-untested"
+    description = (
+        "Every envelope kind and frame opcode must appear in at least one "
+        "test file that exercises both encode and decode — codecs without a "
+        "round-trip test are exactly where the parity matrix goes blind."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        if project.config.tests_dir is None:
+            return ()
+        corpus = project.tests_corpus()
+        if not corpus:
+            return ()
+        round_trip_sources = [
+            source for _, source in corpus if "encode" in source and "decode" in source
+        ]
+        findings: List[Finding] = []
+        for module in project.modules:
+            for tuple_name, what in (
+                ("ENVELOPE_KINDS", "envelope kind"),
+                ("FRAME_TYPES", "frame opcode"),
+            ):
+                names = _tuple_constant_names(module, tuple_name)
+                if not names:
+                    continue
+                constants = _module_constants(module)
+                for name in names:
+                    value, lineno = constants.get(name, (None, 1))
+                    needles = [name]
+                    if isinstance(value, str):
+                        needles.append(value)
+                    covered = any(
+                        any(needle in source for needle in needles)
+                        for source in round_trip_sources
+                    )
+                    if not covered:
+                        anchor = ast.Constant(value=None, lineno=lineno, col_offset=0)
+                        findings.append(
+                            module.finding(
+                                self.code,
+                                anchor,
+                                f"{what} {name} has no round-trip test under "
+                                f"{project.config.tests_dir}",
+                            )
+                        )
+        return findings

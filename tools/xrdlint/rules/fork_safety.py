@@ -1,0 +1,73 @@
+"""XRD3xx — fork safety: fork-unsafe components stay out of worker pools.
+
+The multiprocess mix backend and the population build-worker pool run
+``os.fork``-based children that inherit the parent's heap copy-on-write.
+A transport (or any component) declaring ``fork_safe = False`` owns state
+that does not survive that inheritance — an event loop, live sockets, a
+daemon thread — so *referencing* one inside the fork-context modules is a
+bug even when the tests happen not to cross it: the dynamic guard in
+``coordinator/network.py`` only fires on configurations the suite runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.xrdlint.core import Finding, Project, ProjectRule
+from tools.xrdlint.rules import register
+
+
+@register
+class ForkUnsafeCaptureRule(ProjectRule):
+    code = "XRD301"
+    name = "fork-unsafe-in-fork-context"
+    description = (
+        "A class declaring fork_safe = False must not be imported, "
+        "referenced, or constructed inside the fork-based worker modules "
+        "(engine/multiprocess.py, population/streaming.py): forked children "
+        "inherit its threads/sockets in a broken state. Ship wire bytes "
+        "across the pipe and construct transports post-fork instead."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        unsafe = project.fork_unsafe_classes()
+        if not unsafe:
+            return ()
+        findings: List[Finding] = []
+        for module in project.modules:
+            if not project.config.in_fork_context(module.display_path):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ImportFrom):
+                    for item in node.names:
+                        if item.name in unsafe:
+                            findings.append(
+                                module.finding(
+                                    self.code,
+                                    node,
+                                    f"fork-unsafe class {item.name!r} imported "
+                                    "into a fork-context module",
+                                )
+                            )
+                elif isinstance(node, ast.Name) and node.id in unsafe:
+                    owner, _ = unsafe[node.id]
+                    findings.append(
+                        module.finding(
+                            self.code,
+                            node,
+                            f"fork-unsafe class {node.id!r} (declared "
+                            f"fork_safe=False in {owner.display_path}) "
+                            "referenced in a fork-context module",
+                        )
+                    )
+                elif isinstance(node, ast.Attribute) and node.attr in unsafe:
+                    findings.append(
+                        module.finding(
+                            self.code,
+                            node,
+                            f"fork-unsafe class {node.attr!r} referenced in a "
+                            "fork-context module",
+                        )
+                    )
+        return findings
